@@ -1,0 +1,206 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/scomp"
+	"repro/internal/seqgen"
+	"repro/internal/workload"
+)
+
+// benchRoster is the circuit subset the per-table benchmarks run on.
+// The full 19-circuit roster takes minutes per arm (see cmd/tables);
+// these four cover small and mid-size circuits from both families.
+var benchRoster = []string{"s298", "s344", "b01", "b06"}
+
+// benchCfg keeps benchmark iterations affordable while exercising every
+// pipeline stage the corresponding table needs.
+func benchCfg() workload.Config {
+	return workload.Config{T0MaxLen: 120, RandomT0Len: 300}
+}
+
+func runArm(b *testing.B, cfg workload.Config) []*workload.CircuitRun {
+	b.Helper()
+	runs, err := workload.RunAll(benchRoster, cfg, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runs
+}
+
+// BenchmarkTable1DetectedFaults regenerates Table 1 (faults detected by
+// T_0, by τ_seq and by the final set) for the benchmark subset.
+func BenchmarkTable1DetectedFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.SkipRandom, cfg.SkipDynamic = true, true
+		runs := runArm(b, cfg)
+		tab := workload.Table1(runs)
+		if len(tab.Rows) != len(benchRoster) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkTable2TestLengths regenerates Table 2 (sequence lengths and
+// added top-up tests).
+func BenchmarkTable2TestLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.SkipRandom, cfg.SkipDynamic = true, true
+		runs := runArm(b, cfg)
+		tab := workload.Table2(runs)
+		if len(tab.Rows) != len(benchRoster) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkTable3ClockCycles regenerates Table 3 (clock cycles for the
+// dynamic baseline, [4] init/comp, and the proposed procedure under both
+// T_0 sources). This is the full pipeline: all arms.
+func BenchmarkTable3ClockCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := runArm(b, benchCfg())
+		tab := workload.Table3(runs)
+		if len(tab.Rows) != len(benchRoster)+1 { // + total row
+			b.Fatal("short table")
+		}
+		// Surface the headline metric: proposed-comp total cycles.
+		total := 0
+		for _, r := range runs {
+			total += r.Proposed.Final.Cycles(r.Nsv())
+		}
+		b.ReportMetric(float64(total), "prop-comp-cycles")
+	}
+}
+
+// BenchmarkTable4AtSpeed regenerates Table 4 (at-speed sequence length
+// statistics of the final test sets).
+func BenchmarkTable4AtSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.SkipDynamic = true
+		runs := runArm(b, cfg)
+		tab := workload.Table4(runs)
+		if len(tab.Rows) != len(benchRoster) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkTable5RandomSequences regenerates Table 5 (the random-T_0 arm).
+func BenchmarkTable5RandomSequences(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.SkipDynamic = true
+		runs := runArm(b, cfg)
+		tab := workload.Table5(runs)
+		if len(tab.Rows) != len(benchRoster) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkTableDelayCoverage regenerates the extension table grading
+// final test sets against the transition-fault model (the paper's
+// at-speed motivation, Section 1 refs [5][6]).
+func BenchmarkTableDelayCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.SkipDynamic = true
+		runs := runArm(b, cfg)
+		tab := workload.TableDelay(runs)
+		if len(tab.Rows) != len(benchRoster) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// BenchmarkTablePower regenerates the test-power extension table.
+func BenchmarkTablePower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.SkipRandom, cfg.SkipDynamic = true, true
+		runs := runArm(b, cfg)
+		tab := workload.TablePower(runs)
+		if len(tab.Rows) != len(benchRoster) {
+			b.Fatal("short table")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// ablationFixture prepares one circuit's inputs once so the ablation
+// benchmarks time only the core procedure.
+type ablationFixture struct {
+	sim *fsim.Simulator
+	C   []atpg.CombTest
+	t0  logic.Sequence
+}
+
+var (
+	ablOnce sync.Once
+	abl     ablationFixture
+)
+
+func ablationSetup(b *testing.B) *ablationFixture {
+	b.Helper()
+	ablOnce.Do(func() {
+		c := gen.MustGenerate(gen.Params{Name: "abl", Seed: 404, PIs: 5, POs: 4, FFs: 14, Gates: 150})
+		faults := fault.Collapse(c)
+		comb, err := atpg.Generate(c, faults, atpg.Options{Seed: 404})
+		if err != nil {
+			panic(err)
+		}
+		t0 := seqgen.Generate(c, faults, seqgen.Options{Seed: 404, MaxLen: 150})
+		abl = ablationFixture{sim: fsim.New(c, faults), C: comb.Tests, t0: t0.Seq}
+	})
+	return &abl
+}
+
+func benchCore(b *testing.B, opt core.Options) {
+	fx := ablationSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(fx.sim, fx.C, fx.t0, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Final.Cycles(fx.sim.Circuit().NumFFs())), "cycles")
+	}
+}
+
+// BenchmarkAblationBaseline is the paper's configuration (i_0 rule,
+// omission on, iteration on, Phase 4 on).
+func BenchmarkAblationBaseline(b *testing.B) { benchCore(b, core.Options{}) }
+
+// BenchmarkAblationScanOutRule uses the i_1 scan-out selection the paper
+// rejects (§3.1): longer sequences for marginal coverage.
+func BenchmarkAblationScanOutRule(b *testing.B) { benchCore(b, core.Options{UseBestPrefix: true}) }
+
+// BenchmarkAblationNoOmission disables Phase 2 vector omission.
+func BenchmarkAblationNoOmission(b *testing.B) { benchCore(b, core.Options{SkipOmission: true}) }
+
+// BenchmarkAblationNoIteration runs Phases 1+2 exactly once.
+func BenchmarkAblationNoIteration(b *testing.B) { benchCore(b, core.Options{SkipIteration: true}) }
+
+// BenchmarkAblationNoPhase4 stops after Phase 3 (the "init" column of
+// Table 3).
+func BenchmarkAblationNoPhase4(b *testing.B) {
+	benchCore(b, core.Options{SkipStaticCompaction: true})
+}
+
+// BenchmarkAblationTransferSequences enables the [7] improvement inside
+// the Phase 4 combiner (the paper calls it orthogonal; this measures it).
+func BenchmarkAblationTransferSequences(b *testing.B) {
+	benchCore(b, core.Options{Static: scomp.Options{TransferLen: 6, Seed: 404}})
+}

@@ -1,0 +1,72 @@
+// Command atpg generates a compact combinational test set for the
+// full-scan view of a circuit (PODEM + random phase + reverse-order
+// compaction) and reports the fault partition.
+//
+// Usage:
+//
+//	atpg -roster s298
+//	atpg -bench mydesign.bench -seed 3 -o tests.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+	"repro/internal/scan"
+	"repro/internal/scomp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atpg: ")
+	benchPath := flag.String("bench", "", "input .bench netlist")
+	roster := flag.String("roster", "", "synthetic roster circuit name")
+	seed := flag.Int64("seed", 1, "random phase seed")
+	backtracks := flag.Int("backtracks", 100, "PODEM backtrack limit")
+	out := flag.String("o", "", "write the test set (as length-1 scan tests) to this file")
+	verbose := flag.Bool("v", false, "list untestable and aborted faults")
+	flag.Parse()
+
+	c, err := cliutil.LoadCircuit(*benchPath, *roster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Stats())
+
+	faults := fault.Collapse(c)
+	res, err := atpg.Generate(c, faults, atpg.Options{Seed: *seed, BacktrackLimit: *backtracks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faults: %d collapsed; detected %d (%.2f%%), untestable %d, aborted %d\n",
+		len(faults), res.Detected.Count(), 100*res.FaultCoverage(),
+		res.Untestable.Count(), res.Aborted.Count())
+	fmt.Printf("test set: %d tests\n", len(res.Tests))
+	if *verbose {
+		res.Untestable.ForEach(func(i int) {
+			fmt.Printf("untestable: %s\n", faults[i].String(c))
+		})
+		res.Aborted.ForEach(func(i int) {
+			fmt.Printf("aborted: %s\n", faults[i].String(c))
+		})
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := scan.WriteSet(f, scomp.FromCombTests(res.Tests)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

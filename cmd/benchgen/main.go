@@ -1,0 +1,55 @@
+// Command benchgen emits the synthetic benchmark roster (or a single
+// named circuit) as .bench netlists, so the substitutes the experiments
+// run on can be inspected, diffed, or fed to external tools.
+//
+// Usage:
+//
+//	benchgen -dir circuits/          # whole roster
+//	benchgen -name s298              # one circuit to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	name := flag.String("name", "", "emit one roster circuit to stdout")
+	dir := flag.String("dir", "", "emit the whole roster as <dir>/<name>.bench")
+	flag.Parse()
+
+	switch {
+	case *name != "" && *dir != "":
+		log.Fatal("use either -name or -dir")
+	case *name != "":
+		c, ok := gen.RosterCircuit(*name)
+		if !ok {
+			log.Fatalf("unknown roster circuit %q (known: %v)", *name, gen.RosterNames())
+		}
+		if err := bench.Write(os.Stdout, c); err != nil {
+			log.Fatal(err)
+		}
+	case *dir != "":
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range gen.Roster() {
+			c := gen.MustGenerate(e.Params)
+			path := filepath.Join(*dir, c.Name+".bench")
+			if err := bench.WriteFile(path, c); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: %s\n", path, c.Stats())
+		}
+	default:
+		log.Fatal("need -name <circuit> or -dir <path>")
+	}
+}

@@ -1,0 +1,103 @@
+// Command diagnose demonstrates pass/fail fault-dictionary diagnosis on
+// a compacted test set: it builds the dictionary for a circuit and test
+// set, emulates a failing part by injecting a chosen stuck-at fault, and
+// ranks the candidate faults from the resulting tester signature.
+//
+// Usage:
+//
+//	diagnose -roster s298 -inject 17
+//	diagnose -bench my.bench -tests t.txt -inject 3
+//	diagnose -roster s298 -list           # list fault indices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/cliutil"
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/scan"
+	"repro/internal/scomp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diagnose: ")
+	benchPath := flag.String("bench", "", "input .bench netlist")
+	roster := flag.String("roster", "", "synthetic roster circuit name")
+	testsPath := flag.String("tests", "", "scan test set file (default: generate + compact one)")
+	inject := flag.Int("inject", -1, "fault index to emulate as the failing defect")
+	list := flag.Bool("list", false, "list fault indices and exit")
+	top := flag.Int("top", 8, "number of candidates to report")
+	seed := flag.Int64("seed", 1, "seed when generating a test set")
+	flag.Parse()
+
+	c, err := cliutil.LoadCircuit(*benchPath, *roster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := fault.Collapse(c)
+	if *list {
+		for i, f := range faults {
+			fmt.Printf("%4d  %s\n", i, f.String(c))
+		}
+		return
+	}
+
+	var ts *scan.Set
+	if *testsPath != "" {
+		f, err := os.Open(*testsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err = scan.ReadSet(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res, err := atpg.Generate(c, faults, atpg.Options{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, _ = scomp.Compact(fsim.New(c, faults), scomp.FromCombTests(res.Tests), scomp.Options{})
+	}
+	fmt.Printf("%s; %d faults, %d tests\n", c.Stats(), len(faults), ts.NumTests())
+
+	s := fsim.New(c, faults)
+	dict := diagnose.Build(s, ts)
+	fmt.Printf("dictionary resolution: %.3f\n", dict.Resolution())
+
+	if *inject < 0 {
+		return
+	}
+	if *inject >= len(faults) {
+		log.Fatalf("fault index %d out of range (0..%d)", *inject, len(faults)-1)
+	}
+	syn := dict.Syndrome(*inject)
+	failing := 0
+	for _, v := range syn {
+		if v {
+			failing++
+		}
+	}
+	fmt.Printf("\ninjected: [%d] %s — fails %d/%d tests\n",
+		*inject, faults[*inject].String(c), failing, ts.NumTests())
+	if failing == 0 {
+		fmt.Println("fault is undetected by this test set; nothing to diagnose")
+		return
+	}
+	fmt.Println("candidates (by syndrome distance):")
+	for _, cd := range dict.Diagnose(syn, *top) {
+		marker := " "
+		if cd.Fault == *inject {
+			marker = "*"
+		}
+		fmt.Printf(" %s d=%-3d [%d] %s\n", marker, cd.Distance, cd.Fault, faults[cd.Fault].String(c))
+	}
+}

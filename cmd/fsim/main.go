@@ -1,0 +1,86 @@
+// Command fsim fault-simulates a scan test set or a raw input sequence
+// against a circuit and reports fault coverage and test application cost.
+//
+// Usage:
+//
+//	fsim -roster s298 -tests tests.txt
+//	fsim -bench mydesign.bench -seq t0.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/scan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fsim: ")
+	benchPath := flag.String("bench", "", "input .bench netlist")
+	roster := flag.String("roster", "", "synthetic roster circuit name")
+	testsPath := flag.String("tests", "", "scan test set file (internal/scan text format)")
+	seqPath := flag.String("seq", "", "raw PI sequence file (applied without scan from all-X)")
+	verbose := flag.Bool("v", false, "list undetected faults")
+	flag.Parse()
+
+	c, err := cliutil.LoadCircuit(*benchPath, *roster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Stats())
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+
+	detected := fault.NewSet(len(faults))
+	switch {
+	case *testsPath != "" && *seqPath != "":
+		log.Fatal("use either -tests or -seq, not both")
+	case *testsPath != "":
+		f, err := os.Open(*testsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := scan.ReadSet(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range ts.Tests {
+			detected.UnionWith(s.DetectTest(t.SI, t.Seq, nil))
+		}
+		nsv := c.NumFFs()
+		fmt.Printf("test set: %d tests, %d vectors, %d clock cycles\n",
+			ts.NumTests(), ts.TotalVectors(), ts.Cycles(nsv))
+		fmt.Printf("at-speed lengths: %s\n", ts.AtSpeed())
+	case *seqPath != "":
+		f, err := os.Open(*seqPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err := scan.ReadSequence(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		detected = s.Detect(seq, fsim.Options{})
+		fmt.Printf("sequence: %d vectors (applied without scan)\n", len(seq))
+	default:
+		log.Fatal("need -tests <file> or -seq <file>")
+	}
+
+	fmt.Printf("fault coverage: %d/%d (%.2f%%)\n",
+		detected.Count(), len(faults), 100*fsim.Coverage(detected, len(faults)))
+	if *verbose {
+		for i, fl := range faults {
+			if !detected.Has(i) {
+				fmt.Printf("undetected: %s\n", fl.String(c))
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command scancompact runs the paper's full compaction procedure on one
+// circuit: combinational ATPG for C, sequential generation for T_0, the
+// four phases, and a cost report. The resulting test set can be written
+// in the text format of internal/scan.
+//
+// Usage:
+//
+//	scancompact -roster s298 [-o tests.txt]
+//	scancompact -bench mydesign.bench -seed 7 -t0len 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/response"
+	"repro/internal/scan"
+	"repro/internal/seqgen"
+	"repro/internal/vecomit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scancompact: ")
+	benchPath := flag.String("bench", "", "input .bench netlist")
+	roster := flag.String("roster", "", "synthetic roster circuit name")
+	seed := flag.Int64("seed", 1, "seed for ATPG and sequence generation")
+	t0len := flag.Int("t0len", 300, "cap on the generated T0 length")
+	randT0 := flag.Bool("random-t0", false, "use a random T0 (length -t0len) instead of the directed generator")
+	out := flag.String("o", "", "write the final test set to this file")
+	respOut := flag.String("responses", "", "write expected tester responses to this file")
+	noPhase4 := flag.Bool("nophase4", false, "skip Phase 4 static compaction")
+	scanFFs := flag.Int("scan", 0, "partial scan: scan only the first N flip-flops (0 = full scan)")
+	flag.Parse()
+
+	c, err := cliutil.LoadCircuit(*benchPath, *roster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Stats())
+
+	var chain *scan.Chain
+	if *scanFFs > 0 && *scanFFs < c.NumFFs() {
+		ffs := make([]int, *scanFFs)
+		for i := range ffs {
+			ffs[i] = i
+		}
+		chain, err = scan.NewChain(c.NumFFs(), ffs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("partial scan: %d of %d flip-flops\n", chain.Nsv(), c.NumFFs())
+	}
+
+	faults := fault.Collapse(c)
+	fmt.Printf("collapsed stuck-at faults: %d\n", len(faults))
+
+	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: *seed, Chain: chain})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combinational test set C: %d tests, %d detected, %d untestable, %d aborted\n",
+		len(comb.Tests), comb.Detected.Count(), comb.Untestable.Count(), comb.Aborted.Count())
+
+	s := fsim.NewChain(c, faults, chain)
+	var t0 = seqgen.Random(c, *t0len, *seed)
+	if !*randT0 {
+		res := seqgen.Generate(c, faults, seqgen.Options{Seed: *seed, MaxLen: *t0len})
+		t0 = res.Seq
+		if len(t0) <= 800 {
+			t0, _ = vecomit.CompactSequence(s, t0, res.Detected, vecomit.Options{MaxPasses: 1})
+		}
+	}
+	fmt.Printf("T0: %d vectors\n", len(t0))
+
+	res, err := core.Run(s, comb.Tests, t0, core.Options{SkipStaticCompaction: *noPhase4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsv := s.Nsv()
+	sum := res.Summarize(nsv)
+	fmt.Printf("faults detected: T0 %d, tau_seq %d, final %d / %d\n",
+		sum.T0Detected, sum.SeqDetected, sum.FinalDetected, len(faults))
+	fmt.Printf("tau_seq: scan-in + %d at-speed vectors; %d length-1 tests added\n",
+		sum.SeqLen, sum.Added)
+	fmt.Printf("test application: initial %d cycles, compacted %d cycles (%d tests)\n",
+		sum.InitCycles, sum.CompCycles, res.Final.NumTests())
+	fmt.Printf("at-speed sequence lengths: %s\n", sum.AtSpeed)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := scan.WriteSet(f, res.Final); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *respOut != "" {
+		f, err := os.Create(*respOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := response.Write(f, res.Final, response.ForSet(c, chain, res.Final)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *respOut)
+	}
+}

@@ -1,0 +1,73 @@
+// Command seqatpg generates a test sequence for a sequential circuit
+// operating without scan (the T_0 of the paper), optionally compacting
+// it by vector omission, and reports its fault coverage.
+//
+// Usage:
+//
+//	seqatpg -roster s298 -maxlen 300 -o t0.txt
+//	seqatpg -bench mydesign.bench -random -maxlen 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/scan"
+	"repro/internal/seqgen"
+	"repro/internal/vecomit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seqatpg: ")
+	benchPath := flag.String("bench", "", "input .bench netlist")
+	roster := flag.String("roster", "", "synthetic roster circuit name")
+	seed := flag.Int64("seed", 1, "generation seed")
+	maxlen := flag.Int("maxlen", 300, "sequence length cap")
+	random := flag.Bool("random", false, "emit a pure random sequence instead of the directed search")
+	compact := flag.Bool("compact", true, "apply vector-omission compaction to the result")
+	out := flag.String("o", "", "write the sequence (one vector per line) to this file")
+	flag.Parse()
+
+	c, err := cliutil.LoadCircuit(*benchPath, *roster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Stats())
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+
+	var seq = seqgen.Random(c, *maxlen, *seed)
+	if !*random {
+		res := seqgen.Generate(c, faults, seqgen.Options{Seed: *seed, MaxLen: *maxlen})
+		seq = res.Seq
+	}
+	det := s.Detect(seq, fsim.Options{})
+	fmt.Printf("generated %d vectors detecting %d/%d faults (no scan, all-X start)\n",
+		len(seq), det.Count(), len(faults))
+
+	if *compact && len(seq) <= 800 {
+		seq2, st := vecomit.CompactSequence(s, seq, det, vecomit.Options{})
+		fmt.Printf("vector omission: %d -> %d vectors (%d checks)\n", len(seq), len(seq2), st.Checks)
+		seq = seq2
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := scan.WriteSequence(f, seq); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,72 @@
+// Command tables regenerates the paper's Tables 1-5 over the synthetic
+// benchmark roster (or a named subset).
+//
+// Usage:
+//
+//	tables [-p N] [circuit ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	par := flag.Int("p", runtime.NumCPU(), "circuits to run in parallel")
+	t0len := flag.Int("t0len", 0, "directed T0 length cap (0 = default)")
+	randlen := flag.Int("randlen", 0, "random T0 length (0 = paper's 1000)")
+	norand := flag.Bool("norand", false, "skip the random-T0 arm")
+	delay := flag.Bool("delay", false, "also print the transition-fault coverage extension table")
+	markdown := flag.Bool("md", false, "render the tables as markdown")
+	pow := flag.Bool("power", false, "also print the test-power extension table")
+	nodyn := flag.Bool("nodyn", false, "skip the [2,3] dynamic baseline")
+	flag.Parse()
+
+	cfg := workload.Config{
+		T0MaxLen:    *t0len,
+		RandomT0Len: *randlen,
+		SkipRandom:  *norand,
+		SkipDynamic: *nodyn,
+	}
+	var names []string
+	if flag.NArg() > 0 {
+		names = flag.Args()
+	}
+	start := time.Now()
+	runs, err := workload.RunAll(names, cfg, *par)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *markdown {
+		tabs := []interface{ RenderMarkdown() string }{
+			workload.Table1(runs), workload.Table2(runs), workload.Table3(runs),
+			workload.Table4(runs), workload.Table5(runs),
+		}
+		if *delay {
+			tabs = append(tabs, workload.TableDelay(runs))
+		}
+		if *pow {
+			tabs = append(tabs, workload.TablePower(runs))
+		}
+		for _, t := range tabs {
+			fmt.Println(t.RenderMarkdown())
+		}
+	} else {
+		fmt.Print(workload.AllTables(runs))
+		if *delay {
+			fmt.Print(workload.TableDelay(runs).Render())
+		}
+		if *pow {
+			fmt.Print(workload.TablePower(runs).Render())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "completed %d circuits in %v\n", len(runs), time.Since(start).Round(time.Millisecond))
+}

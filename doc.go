@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	I. Pomeranz and S. M. Reddy, "An Approach to Test Compaction for
+//	Scan Circuits that Enhances At-Speed Testing", DAC 2001.
+//
+// The library lives under internal/: netlists (circuit, bench, gen),
+// simulation (logic, sim), the stuck-at fault model and fault simulation
+// (fault, fsim), test generation (atpg, seqgen), the compaction engines
+// (vecomit, scomp, dyncomp), the paper's four-phase procedure (core) and
+// the experiment harness (workload, tabfmt). Command-line tools are in
+// cmd/, runnable examples in examples/.
+//
+// The benchmarks in bench_test.go regenerate the paper's five tables;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

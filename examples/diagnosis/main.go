@@ -1,0 +1,81 @@
+// Diagnosis: what happens after the compacted test set ships.
+//
+// A part fails on the tester; all the tester reports is which tests
+// failed. This example compacts a test set with the paper's procedure,
+// builds a pass/fail fault dictionary for it, emulates three defective
+// parts, and shows the ranked diagnosis for each — including the
+// expected tester responses computed by internal/response.
+//
+// Run with:
+//
+//	go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/response"
+	"repro/internal/seqgen"
+)
+
+func main() {
+	c := gen.MustGenerate(gen.Params{
+		Name: "dut", Seed: 33, PIs: 5, POs: 4, FFs: 10, Gates: 120,
+	})
+	fmt.Println(c.Stats())
+	faults := fault.Collapse(c)
+
+	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := seqgen.Generate(c, faults, seqgen.Options{Seed: 33, MaxLen: 100})
+	s := fsim.New(c, faults)
+	res, err := core.Run(s, comb.Tests, t0.Seq, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := res.Final
+	fmt.Printf("compacted test set: %d tests, %d cycles\n", ts.NumTests(), ts.Cycles(c.NumFFs()))
+
+	// Expected responses for the tester program.
+	resps := response.ForSet(c, nil, ts)
+	fmt.Printf("expected responses computed for %d tests (e.g. test 0 scan-out %s)\n",
+		len(resps), resps[0].ScanOut)
+
+	// The dictionary: per-fault pass/fail syndromes.
+	dict := diagnose.Build(s, ts)
+	fmt.Printf("dictionary resolution: %.3f (distinct syndromes / detectable faults)\n\n",
+		dict.Resolution())
+
+	// Emulate three failing parts.
+	for _, fi := range []int{3, len(faults) / 2, len(faults) - 5} {
+		syn := dict.Syndrome(fi)
+		failing := 0
+		for _, v := range syn {
+			if v {
+				failing++
+			}
+		}
+		fmt.Printf("part with defect %q fails %d/%d tests; top candidates:\n",
+			faults[fi].String(c), failing, ts.NumTests())
+		if failing == 0 {
+			fmt.Println("  (escapes this test set)")
+			continue
+		}
+		for _, cd := range dict.Diagnose(syn, 3) {
+			marker := "  "
+			if cd.Fault == fi {
+				marker = "->"
+			}
+			fmt.Printf("  %s d=%d %s\n", marker, cd.Distance, faults[cd.Fault].String(c))
+		}
+	}
+}

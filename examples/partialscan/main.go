@@ -1,0 +1,63 @@
+// Partial scan: the extension sketched in the paper's conclusion.
+//
+// Scanning fewer flip-flops makes every scan operation cheaper
+// (N_SV shrinks) at the price of controllability and observability.
+// This example sweeps the scanned fraction on one circuit and reports
+// the coverage/test-time trade-off the procedure achieves at each point.
+//
+// Run with:
+//
+//	go run ./examples/partialscan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/scan"
+	"repro/internal/seqgen"
+)
+
+func main() {
+	c := gen.MustGenerate(gen.Params{
+		Name: "partial", Seed: 99,
+		PIs: 5, POs: 4, FFs: 16, Gates: 160,
+	})
+	fmt.Println(c.Stats())
+	faults := fault.Collapse(c)
+	t0 := seqgen.Generate(c, faults, seqgen.Options{Seed: 99, MaxLen: 120})
+
+	fmt.Printf("\n%-18s %8s %10s %10s %8s\n",
+		"chain", "faults", "init cyc", "comp cyc", "tests")
+	for _, frac := range []int{16, 12, 8, 4} {
+		ffs := make([]int, 0, frac)
+		for i := 0; i < c.NumFFs() && len(ffs) < frac; i++ {
+			ffs = append(ffs, i)
+		}
+		ch, err := scan.NewChain(c.NumFFs(), ffs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comb, err := atpg.Generate(c, faults, atpg.Options{Seed: 99, Chain: ch})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := fsim.NewChain(c, faults, ch)
+		res, err := core.Run(s, comb.Tests, t0.Seq, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d/%d scanned", ch.Nsv(), c.NumFFs())
+		fmt.Printf("%-18s %8d %10d %10d %8d\n",
+			label, res.FinalDetected.Count(),
+			res.Initial.Cycles(s.Nsv()), res.Final.Cycles(s.Nsv()),
+			res.Final.NumTests())
+	}
+	fmt.Println("\nshorter chains cut the per-scan cost; coverage decays as state")
+	fmt.Println("access narrows — the classic partial-scan trade-off.")
+}

@@ -1,0 +1,69 @@
+// Quickstart: compact a scan test set for a small sequential circuit.
+//
+// The flow is the paper's four-phase procedure end to end:
+//
+//	netlist -> fault list -> combinational test set C -> sequence T_0
+//	        -> (Phase 1-4) -> compacted scan test set
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/seqgen"
+)
+
+func main() {
+	// A small synthetic sequential circuit: 5 inputs, 4 outputs,
+	// 8 flip-flops, ~100 gates. Any *circuit.Circuit works here,
+	// including one parsed from a .bench file.
+	c := gen.MustGenerate(gen.Params{
+		Name: "quickstart", Seed: 7,
+		PIs: 5, POs: 4, FFs: 8, Gates: 100,
+	})
+	fmt.Println(c.Stats())
+
+	// The single stuck-at fault universe, structurally collapsed.
+	faults := fault.Collapse(c)
+	fmt.Printf("target faults: %d\n", len(faults))
+
+	// The combinational test set C: the source of scan-in states and of
+	// the length-1 top-up tests.
+	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("combinational test set: %d tests covering %d faults\n",
+		len(comb.Tests), comb.Detected.Count())
+
+	// T_0: a test sequence for the circuit operating without scan.
+	t0 := seqgen.Generate(c, faults, seqgen.Options{Seed: 7, MaxLen: 120})
+	fmt.Printf("T0: %d vectors, %d faults detected without scan\n",
+		len(t0.Seq), t0.Detected.Count())
+
+	// The four-phase procedure.
+	s := fsim.New(c, faults)
+	res, err := core.Run(s, comb.Tests, t0.Seq, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nsv := c.NumFFs()
+	fmt.Printf("\ntau_seq: scan-in %s + %d at-speed vectors, detects %d faults\n",
+		res.TauSeq.SI, res.TauSeq.Len(), res.SeqDetected.Count())
+	fmt.Printf("added length-1 tests: %d\n", res.Added)
+	fmt.Printf("test application time: %d cycles initial, %d after static compaction\n",
+		res.Initial.Cycles(nsv), res.Final.Cycles(nsv))
+	fmt.Printf("final coverage: %d/%d faults with %d tests\n",
+		res.FinalDetected.Count(), len(faults), res.Final.NumTests())
+	fmt.Printf("at-speed sequence lengths: %s\n", res.Final.AtSpeed())
+}

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tfault"
+	"repro/internal/workload"
+)
+
+// TestReproduceTablesSubset regenerates all five paper tables plus the
+// delay extension table on a small roster subset and checks the
+// cross-table claims the paper makes. The full-roster run lives in
+// cmd/tables (minutes); this is the CI-sized version.
+func TestReproduceTablesSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run skipped in -short mode")
+	}
+	runs, err := workload.RunAll([]string{"s298", "b01", "b02", "b06"},
+		workload.Config{T0MaxLen: 120, RandomT0Len: 300}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := workload.AllTables(runs)
+	for _, tab := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Table 5"} {
+		if !strings.Contains(out, tab) {
+			t.Errorf("missing %s in output", tab)
+		}
+	}
+
+	var totB4Init, totB4Comp, totPropInit, totPropComp int
+	for _, r := range runs {
+		nsv := r.Nsv()
+		name := r.Entry.Params.Name
+
+		// Table 1 ordering: T0 <= scan <= final.
+		p := r.Proposed
+		if !(p.T0Detected.Count() <= p.SeqDetected.Count() &&
+			p.SeqDetected.Count() <= p.FinalDetected.Count()) {
+			t.Errorf("%s: Table 1 ordering violated", name)
+		}
+		// Table 2: the scan sequence never exceeds T0.
+		if p.TauSeq.Len() > p.T0Len {
+			t.Errorf("%s: tau_seq longer than T0", name)
+		}
+		// Table 3 orderings per flow.
+		if r.Base4Comp.Cycles(nsv) > r.Base4Init.Cycles(nsv) {
+			t.Errorf("%s: [4] compaction grew cycles", name)
+		}
+		if p.Final.Cycles(nsv) > p.Initial.Cycles(nsv) {
+			t.Errorf("%s: proposed compaction grew cycles", name)
+		}
+		totB4Init += r.Base4Init.Cycles(nsv)
+		totB4Comp += r.Base4Comp.Cycles(nsv)
+		totPropInit += p.Initial.Cycles(nsv)
+		totPropComp += p.Final.Cycles(nsv)
+
+		// Table 4: the proposed longest at-speed run dominates [4]'s.
+		if p.Final.AtSpeed().Max < r.Base4Comp.AtSpeed().Max {
+			t.Errorf("%s: proposed max at-speed run %d below [4]'s %d",
+				name, p.Final.AtSpeed().Max, r.Base4Comp.AtSpeed().Max)
+		}
+		// Table 5 arm exists and covers the C-detectable faults.
+		if r.ProposedRand == nil || !r.ProposedRand.FinalDetected.ContainsAll(r.Comb.Detected) {
+			t.Errorf("%s: random arm incomplete", name)
+		}
+	}
+
+	// The headline totals (paper Table 3): proposed init beats [4] init,
+	// proposed comp beats [4] comp.
+	if totPropInit >= totB4Init {
+		t.Errorf("proposed init total %d not below [4] init total %d", totPropInit, totB4Init)
+	}
+	if totPropComp > totB4Comp {
+		t.Errorf("proposed comp total %d above [4] comp total %d", totPropComp, totB4Comp)
+	}
+
+	// Delay extension: [4]'s uncombined (length-1) sets detect zero
+	// transition faults; the proposed sets detect plenty.
+	for _, r := range runs {
+		tf := tfault.Universe(r.Circuit)
+		s := tfault.New(r.Circuit, tf)
+		if got := s.DetectSet(r.Base4Init).Count(); got != 0 {
+			t.Errorf("%s: length-1 test set detected %d transition faults", r.Entry.Params.Name, got)
+		}
+		if got := s.DetectSet(r.Proposed.Final).Count(); got == 0 {
+			t.Errorf("%s: proposed set detected no transition faults", r.Entry.Params.Name)
+		}
+	}
+}

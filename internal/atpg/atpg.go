@@ -1,0 +1,230 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/scoap"
+)
+
+// CombTest is one combinational test c_j: a present-state part and a
+// primary-input part. Under full scan it is applied as the scan test
+// (State, (PI)) of length one.
+type CombTest struct {
+	State logic.Vector // values on the present-state lines (scan-in part)
+	PI    logic.Vector // values on the primary inputs
+}
+
+// ScanTest converts the combinational test into its length-1 scan test.
+func (t CombTest) ScanTest() scan.Test {
+	return scan.Test{SI: t.State.Clone(), Seq: logic.Sequence{t.PI.Clone()}}
+}
+
+// Options configures test generation.
+type Options struct {
+	// Seed drives the random phase and random fill.
+	Seed int64
+	// RandomPatterns is the number of random patterns tried before the
+	// deterministic phase (0 means the default of 256).
+	RandomPatterns int
+	// BacktrackLimit bounds PODEM backtracks per fault (0 = default 100).
+	BacktrackLimit int
+	// Compact enables the reverse-order greedy compaction pass (on by
+	// default via Generate; disable for debugging).
+	NoCompaction bool
+	// Chain restricts the controllable present-state lines and the
+	// observable next-state lines to a partial scan chain (nil = full
+	// scan). Test State vectors are indexed by chain position.
+	Chain *scan.Chain
+}
+
+// Result is the outcome of Generate.
+type Result struct {
+	// Tests is the generated combinational test set C.
+	Tests []CombTest
+	// Detected, Untestable and Aborted partition the fault list.
+	Detected   *fault.Set
+	Untestable *fault.Set
+	Aborted    *fault.Set
+}
+
+// FaultCoverage returns |Detected| / universe size.
+func (r *Result) FaultCoverage() float64 {
+	return fsim.Coverage(r.Detected, r.Detected.Len())
+}
+
+// Generate produces a compact combinational test set for the full-scan
+// view of c over the given fault list. Three phases: random patterns
+// with fault dropping, PODEM for the survivors, reverse-order greedy
+// compaction.
+func Generate(c *circuit.Circuit, faults []fault.Fault, opt Options) (*Result, error) {
+	if opt.RandomPatterns == 0 {
+		opt.RandomPatterns = 256
+	}
+	if opt.BacktrackLimit == 0 {
+		opt.BacktrackLimit = maxBacktracks
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	simr := fsim.NewChain(c, faults, opt.Chain)
+	n := len(faults)
+	stateWidth := c.NumFFs()
+	var chainFFs []int
+	if opt.Chain != nil {
+		stateWidth = opt.Chain.Nsv()
+		chainFFs = opt.Chain.FFs
+	}
+	tm := scoap.Compute(c, opt.Chain)
+
+	res := &Result{
+		Detected:   fault.NewSet(n),
+		Untestable: fault.NewSet(n),
+		Aborted:    fault.NewSet(n),
+	}
+	remaining := fault.NewSet(n)
+	for i := 0; i < n; i++ {
+		remaining.Add(i)
+	}
+	var tests []CombTest
+
+	// Phase 1: random patterns. Keep a pattern iff it detects a new fault.
+	for i := 0; i < opt.RandomPatterns && remaining.Count() > 0; i++ {
+		t := CombTest{
+			State: randomVector(r, stateWidth),
+			PI:    randomVector(r, c.NumPIs()),
+		}
+		det := simr.DetectTest(t.State, logic.Sequence{t.PI}, remaining)
+		if det.Count() == 0 {
+			continue
+		}
+		tests = append(tests, t)
+		res.Detected.UnionWith(det)
+		remaining.SubtractWith(det)
+	}
+
+	// Phase 2: PODEM per remaining fault, with fault dropping.
+	remaining.ForEach(func(fi int) {
+		if !remaining.Has(fi) {
+			return // dropped by an earlier PODEM test in this loop
+		}
+		p := newPodem(c, faults[fi], opt.BacktrackLimit, chainFFs, tm)
+		assign, status := p.run()
+		switch status {
+		case Untestable:
+			res.Untestable.Add(fi)
+			remaining.Remove(fi)
+			return
+		case Aborted:
+			res.Aborted.Add(fi)
+			remaining.Remove(fi)
+			return
+		}
+		t := splitAssignment(c, assign)
+		fillRandom(r, t.State)
+		fillRandom(r, t.PI)
+		det := simr.DetectTest(t.State, logic.Sequence{t.PI}, remaining)
+		if !det.Has(fi) {
+			// The X-fill cannot undo a detection PODEM proved, since the
+			// assigned bits alone guarantee it; a miss here means a
+			// PODEM bug, which we surface loudly.
+			return
+		}
+		tests = append(tests, t)
+		res.Detected.UnionWith(det)
+		remaining.SubtractWith(det)
+	})
+
+	if remaining.Count() > 0 {
+		// PODEM either detects, proves untestable, or aborts; nothing
+		// may be left over.
+		return nil, fmt.Errorf("atpg %s: %d faults unaccounted for", c.Name, remaining.Count())
+	}
+
+	if !opt.NoCompaction {
+		tests = compactReverse(simr, tests, res.Detected)
+	}
+	res.Tests = tests
+	return res, nil
+}
+
+// compactReverse re-simulates tests in reverse order with fault dropping
+// and keeps only tests that detect a not-yet-covered fault. Later tests
+// (from the deterministic phase) tend to be "harder" and detect many
+// easy faults incidentally, so reverse order drops many early random
+// patterns — the classic static compaction of combinational test sets.
+func compactReverse(simr *fsim.Simulator, tests []CombTest, covered *fault.Set) []CombTest {
+	remaining := covered.Clone()
+	var kept []CombTest
+	for i := len(tests) - 1; i >= 0; i-- {
+		if remaining.Count() == 0 {
+			break
+		}
+		t := tests[i]
+		det := simr.DetectTest(t.State, logic.Sequence{t.PI}, remaining)
+		if det.Count() == 0 {
+			continue
+		}
+		kept = append(kept, t)
+		remaining.SubtractWith(det)
+	}
+	// Restore generation order (reverse the kept list).
+	for l, rr := 0, len(kept)-1; l < rr; l, rr = l+1, rr-1 {
+		kept[l], kept[rr] = kept[rr], kept[l]
+	}
+	return kept
+}
+
+// splitAssignment separates a PODEM input assignment (PIs then state)
+// into the CombTest parts.
+func splitAssignment(c *circuit.Circuit, assign logic.Vector) CombTest {
+	npi := c.NumPIs()
+	return CombTest{
+		PI:    assign[:npi].Clone(),
+		State: assign[npi:].Clone(),
+	}
+}
+
+func randomVector(r *rand.Rand, n int) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := range v {
+		v[i] = logic.Value(r.Intn(2))
+	}
+	return v
+}
+
+func fillRandom(r *rand.Rand, v logic.Vector) {
+	for i := range v {
+		if !v[i].IsBinary() {
+			v[i] = logic.Value(r.Intn(2))
+		}
+	}
+}
+
+// RunPodem exposes a single-fault PODEM run under full scan: it returns
+// the input assignment split into a test, and the search status. Used by
+// tests, diagnostics and the cmd/atpg tool.
+func RunPodem(c *circuit.Circuit, f fault.Fault, backtrackLimit int) (CombTest, Status) {
+	return RunPodemChain(c, f, backtrackLimit, nil)
+}
+
+// RunPodemChain is RunPodem under a partial scan chain (nil = full
+// scan); the returned State is indexed by chain position.
+func RunPodemChain(c *circuit.Circuit, f fault.Fault, backtrackLimit int, ch *scan.Chain) (CombTest, Status) {
+	if backtrackLimit <= 0 {
+		backtrackLimit = maxBacktracks
+	}
+	var chainFFs []int
+	if ch != nil {
+		chainFFs = ch.FFs
+	}
+	p := newPodem(c, f, backtrackLimit, chainFFs, scoap.Compute(c, ch))
+	assign, status := p.run()
+	if status != Detected {
+		return CombTest{}, status
+	}
+	return splitAssignment(c, assign), status
+}

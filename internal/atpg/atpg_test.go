@@ -1,0 +1,235 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/samples"
+)
+
+// exhaustiveDetectable enumerates every binary (state, PI) assignment and
+// reports whether any of them detects f as a length-1 scan test. This is
+// the ground truth PODEM must agree with on small circuits.
+func exhaustiveDetectable(c *circuit.Circuit, faults []fault.Fault, fi int) (bool, CombTest) {
+	s := fsim.New(c, faults)
+	target := fault.FromIndices(len(faults), []int{fi})
+	nIn := c.NumPIs() + c.NumFFs()
+	for m := 0; m < 1<<nIn; m++ {
+		pi := make(logic.Vector, c.NumPIs())
+		st := make(logic.Vector, c.NumFFs())
+		for i := 0; i < c.NumPIs(); i++ {
+			pi[i] = logic.Value((m >> i) & 1)
+		}
+		for i := 0; i < c.NumFFs(); i++ {
+			st[i] = logic.Value((m >> (c.NumPIs() + i)) & 1)
+		}
+		if s.DetectTest(st, logic.Sequence{pi}, target).Has(fi) {
+			return true, CombTest{State: st, PI: pi}
+		}
+	}
+	return false, CombTest{}
+}
+
+// checkPodemAgainstExhaustive runs PODEM on every collapsed fault of c
+// and compares with brute force.
+func checkPodemAgainstExhaustive(t *testing.T, c *circuit.Circuit) {
+	t.Helper()
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	for fi, f := range faults {
+		test, status := RunPodem(c, f, 10000)
+		want, _ := exhaustiveDetectable(c, faults, fi)
+		switch status {
+		case Detected:
+			if !want {
+				t.Errorf("%s: PODEM claims detected but brute force says undetectable", f.String(c))
+				continue
+			}
+			// The returned test must actually detect the fault (after
+			// filling X with zeros — the assigned bits must suffice).
+			fillValue(test.State, logic.Zero)
+			fillValue(test.PI, logic.Zero)
+			got := s.DetectTest(test.State, logic.Sequence{test.PI}, fault.FromIndices(len(faults), []int{fi}))
+			if !got.Has(fi) {
+				t.Errorf("%s: PODEM test does not detect the fault", f.String(c))
+			}
+		case Untestable:
+			if want {
+				t.Errorf("%s: PODEM claims untestable but a test exists", f.String(c))
+			}
+		case Aborted:
+			t.Errorf("%s: aborted with a huge backtrack limit", f.String(c))
+		}
+	}
+}
+
+func fillValue(v logic.Vector, val logic.Value) {
+	for i := range v {
+		if !v[i].IsBinary() {
+			v[i] = val
+		}
+	}
+}
+
+func TestPodemMatchesExhaustiveComb4(t *testing.T) {
+	checkPodemAgainstExhaustive(t, samples.Comb4())
+}
+
+func TestPodemMatchesExhaustiveS27(t *testing.T) {
+	checkPodemAgainstExhaustive(t, samples.S27())
+}
+
+func TestPodemMatchesExhaustiveToggle(t *testing.T) {
+	checkPodemAgainstExhaustive(t, samples.Toggle())
+}
+
+func TestPodemScanOutOnlyFault(t *testing.T) {
+	// q is written but never read: its faults are observable only at
+	// scan-out. PODEM must find the test via the D-driver route.
+	b := circuit.NewBuilder("deadff")
+	b.Input("a")
+	b.Input("b")
+	b.DFF("q", "d")
+	b.Gate("d", circuit.And, "a", "b")
+	b.Gate("y", circuit.Or, "a", "b")
+	b.Output("y")
+	c := b.MustBuild()
+	qi, _ := c.NodeByName("q")
+	f := fault.Fault{Node: qi, Pin: -1, Stuck: logic.Zero}
+	test, status := RunPodem(c, f, 1000)
+	if status != Detected {
+		t.Fatalf("status = %v, want detected", status)
+	}
+	// The test must set d = AND(a,b) = 1, i.e. a=b=1.
+	if test.PI[0] != logic.One || test.PI[1] != logic.One {
+		t.Errorf("test PI = %v, want 11", test.PI)
+	}
+}
+
+func TestPodemUntestableRedundantFault(t *testing.T) {
+	// y = OR(a, NOT(a)) is constant 1: y s-a-1 is undetectable.
+	b := circuit.NewBuilder("red")
+	b.Input("a")
+	b.Gate("na", circuit.Not, "a")
+	b.Gate("y", circuit.Or, "a", "na")
+	b.Output("y")
+	c := b.MustBuild()
+	yi, _ := c.NodeByName("y")
+	_, status := RunPodem(c, fault.Fault{Node: yi, Pin: -1, Stuck: logic.One}, 1000)
+	if status != Untestable {
+		t.Errorf("status = %v, want untestable", status)
+	}
+	// y s-a-0 is trivially detectable.
+	_, status = RunPodem(c, fault.Fault{Node: yi, Pin: -1, Stuck: logic.Zero}, 1000)
+	if status != Detected {
+		t.Errorf("s-a-0 status = %v, want detected", status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Detected.String() != "detected" || Untestable.String() != "untestable" ||
+		Aborted.String() != "aborted" || Status(9).String() != "unknown" {
+		t.Error("Status.String wrong")
+	}
+}
+
+func TestGenerateCompleteCoverageS27(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res, err := Generate(c, faults, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	// Every fault is detected or proven untestable (no aborts at this size).
+	if res.Aborted.Count() != 0 {
+		t.Errorf("%d aborted faults on s27", res.Aborted.Count())
+	}
+	if res.Detected.Count()+res.Untestable.Count() != len(faults) {
+		t.Errorf("partition broken: %d + %d != %d",
+			res.Detected.Count(), res.Untestable.Count(), len(faults))
+	}
+	// The emitted test set must re-achieve the claimed coverage.
+	s := fsim.New(c, faults)
+	got := fault.NewSet(len(faults))
+	for _, tst := range res.Tests {
+		got.UnionWith(s.DetectTest(tst.State, logic.Sequence{tst.PI}, nil))
+	}
+	if !got.ContainsAll(res.Detected) {
+		t.Errorf("test set detects %d faults, claimed %d", got.Count(), res.Detected.Count())
+	}
+	if res.FaultCoverage() <= 0.9 {
+		t.Errorf("coverage = %.2f, suspiciously low for s27", res.FaultCoverage())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	a, err := Generate(c, faults, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c, faults, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tests) != len(b.Tests) {
+		t.Fatalf("nondeterministic: %d vs %d tests", len(a.Tests), len(b.Tests))
+	}
+	for i := range a.Tests {
+		if !a.Tests[i].State.Equal(b.Tests[i].State) || !a.Tests[i].PI.Equal(b.Tests[i].PI) {
+			t.Fatalf("test %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateCompactionKeepsCoverage(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	full, err := Generate(c, faults, Options{Seed: 2, NoCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := Generate(c, faults, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact.Tests) > len(full.Tests) {
+		t.Errorf("compaction grew the set: %d > %d", len(compact.Tests), len(full.Tests))
+	}
+	if !compact.Detected.Equal(full.Detected) {
+		t.Error("compaction changed the detected set")
+	}
+}
+
+func TestCombTestScanTest(t *testing.T) {
+	ct := CombTest{State: logic.Vector{logic.One}, PI: logic.Vector{logic.Zero, logic.One}}
+	st := ct.ScanTest()
+	if st.Len() != 1 || !st.SI.Equal(ct.State) || !st.Seq[0].Equal(ct.PI) {
+		t.Errorf("ScanTest = %+v", st)
+	}
+	st.SI[0] = logic.Zero
+	if ct.State[0] != logic.One {
+		t.Error("ScanTest must clone vectors")
+	}
+}
+
+func TestGenerateOnPureCombinational(t *testing.T) {
+	c := samples.Comb4()
+	faults := fault.Collapse(c)
+	res, err := Generate(c, faults, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected.Count()+res.Untestable.Count()+res.Aborted.Count() != len(faults) {
+		t.Error("fault partition incomplete")
+	}
+	for _, tst := range res.Tests {
+		if len(tst.State) != 0 {
+			t.Error("combinational circuit tests must have empty state part")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/samples"
+)
+
+// BenchmarkGenerate measures full combinational test-set generation
+// (random phase + PODEM + compaction) on a mid-size circuit.
+func BenchmarkGenerate(b *testing.B) {
+	c := gen.MustGenerate(gen.Params{Name: "b", Seed: 5, PIs: 8, POs: 6, FFs: 24, Gates: 300})
+	faults := fault.Collapse(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Generate(c, faults, Options{Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Tests)), "tests")
+	}
+}
+
+// BenchmarkPodemSingleFault measures one deterministic PODEM run.
+func BenchmarkPodemSingleFault(b *testing.B) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunPodem(c, faults[i%len(faults)], 1000)
+	}
+}

@@ -1,0 +1,103 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/samples"
+	"repro/internal/scomp"
+)
+
+func TestGenerateNRaisesCounts(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	one, err := GenerateN(c, faults, 1, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := GenerateN(c, faults, 3, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(three.Tests) <= len(one.Tests) {
+		t.Errorf("n=3 set (%d tests) not larger than n=1 set (%d)", len(three.Tests), len(one.Tests))
+	}
+	if three.MinCount() <= one.MinCount() && three.MinCount() < 3 {
+		t.Errorf("min count did not improve: %d vs %d", three.MinCount(), one.MinCount())
+	}
+	// Counts must be consistent with a replay.
+	s := fsim.New(c, faults)
+	counts := countDetections(s, three.Tests)
+	for f, want := range counts {
+		if three.Counts[f] != want {
+			t.Fatalf("fault %d: count %d, replay %d", f, three.Counts[f], want)
+		}
+	}
+	// Coverage never shrinks.
+	if !three.Detected.ContainsAll(one.Detected) {
+		t.Error("n-detect lost single-detect coverage")
+	}
+}
+
+func TestGenerateNNoDuplicates(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res, err := GenerateN(c, faults, 4, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Tests {
+		for j := i + 1; j < len(res.Tests); j++ {
+			if res.Tests[i].State.Equal(res.Tests[j].State) && res.Tests[i].PI.Equal(res.Tests[j].PI) {
+				t.Fatalf("tests %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateNImprovesDiagnosticResolution(t *testing.T) {
+	// The point of n-detect for diagnosis: more syndromes, better
+	// resolution.
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	one, err := GenerateN(c, faults, 1, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := GenerateN(c, faults, 5, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := diagnose.Build(s, scomp.FromCombTests(one.Tests)).Resolution()
+	r5 := diagnose.Build(s, scomp.FromCombTests(five.Tests)).Resolution()
+	if r5 < r1 {
+		t.Errorf("5-detect resolution %.3f below 1-detect %.3f", r5, r1)
+	}
+	t.Logf("resolution: n=1 %.3f (%d tests), n=5 %.3f (%d tests)",
+		r1, len(one.Tests), r5, len(five.Tests))
+}
+
+func TestGenerateNDegenerate(t *testing.T) {
+	c := samples.Comb4()
+	faults := fault.Collapse(c)
+	res, err := GenerateN(c, faults, 0, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts == nil {
+		t.Error("counts missing for n<=1")
+	}
+	if res.MinCount() < 1 {
+		t.Error("detectable faults must have count >= 1")
+	}
+}
+
+func TestMinCountEmpty(t *testing.T) {
+	r := &NResult{Result: &Result{Detected: fault.NewSet(5)}, Counts: make([]int, 5)}
+	if r.MinCount() != 0 {
+		t.Error("empty detected set should give MinCount 0")
+	}
+}

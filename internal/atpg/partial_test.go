@@ -1,0 +1,90 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/samples"
+	"repro/internal/scan"
+)
+
+func TestGeneratePartialScanStateWidth(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	ch, err := scan.NewChain(c.NumFFs(), []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(c, faults, Options{Seed: 1, Chain: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tst := range res.Tests {
+		if len(tst.State) != 2 {
+			t.Fatalf("test %d state width %d, want 2 (chain positions)", i, len(tst.State))
+		}
+	}
+	// Every claimed detection must replay under the chain-aware simulator.
+	s := fsim.NewChain(c, faults, ch)
+	got := fault.NewSet(len(faults))
+	for _, tst := range res.Tests {
+		got.UnionWith(s.DetectTest(tst.State, logic.Sequence{tst.PI}, nil))
+	}
+	if !got.ContainsAll(res.Detected) {
+		t.Error("partial-scan test set does not replay its claimed coverage")
+	}
+}
+
+func TestPartialScanCoverageSubsetOfFull(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	full, err := Generate(c, faults, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := scan.NewChain(c.NumFFs(), []int{1})
+	part, err := Generate(c, faults, Options{Seed: 2, Chain: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losing controllability and observability can only shrink the
+	// combinationally detectable set.
+	if part.Detected.Count() > full.Detected.Count() {
+		t.Errorf("partial scan detected %d > full %d",
+			part.Detected.Count(), full.Detected.Count())
+	}
+	if part.Detected.Count() == 0 {
+		t.Error("partial scan should still detect something")
+	}
+}
+
+func TestPodemChainUnscannedFFUntestable(t *testing.T) {
+	// qa scanned, qb not: qb's stuck faults have no observation path and
+	// its PS line is uncontrollable -> untestable in the one-frame view.
+	b := circuit.NewBuilder("pair")
+	b.Input("a")
+	b.DFF("qa", "da")
+	b.DFF("qb", "db")
+	b.Gate("da", circuit.Buf, "a")
+	b.Gate("db", circuit.Not, "a")
+	b.Gate("y", circuit.Buf, "a")
+	b.Output("y")
+	c := b.MustBuild()
+	qb, _ := c.NodeByName("qb")
+	ch, _ := scan.NewChain(2, []int{0})
+	_, status := RunPodemChain(c, fault.Fault{Node: qb, Pin: -1, Stuck: logic.Zero}, 1000, ch)
+	if status != Untestable {
+		t.Errorf("unscanned write-only FF fault: status %v, want untestable", status)
+	}
+	qa, _ := c.NodeByName("qa")
+	test, status := RunPodemChain(c, fault.Fault{Node: qa, Pin: -1, Stuck: logic.Zero}, 1000, ch)
+	if status != Detected {
+		t.Fatalf("scanned FF fault: status %v, want detected", status)
+	}
+	if test.PI[0] != logic.One {
+		t.Errorf("test must drive a=1 to capture the complement, got %v", test.PI)
+	}
+}

@@ -1,0 +1,229 @@
+// Package bench reads and writes the ISCAS .bench netlist format used by
+// the ISCAS-85/89 and ITC-99 benchmark distributions.
+//
+// The format is line oriented:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G11 = NOT(G5)
+//	G17 = AND(G11, G0)
+//
+// Accepted gate functions: AND, OR, NAND, NOR, NOT, BUF/BUFF, XOR, XNOR,
+// DFF, CONST0, CONST1. Names are case-insensitive for functions and
+// case-sensitive for signals. Real ISCAS-89 and ITC-99 .bench files parse
+// unchanged, so the synthetic circuits used by the experiments can be
+// swapped for genuine benchmark netlists.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+var kindByName = map[string]circuit.Kind{
+	"AND":    circuit.And,
+	"OR":     circuit.Or,
+	"NAND":   circuit.Nand,
+	"NOR":    circuit.Nor,
+	"NOT":    circuit.Not,
+	"INV":    circuit.Not,
+	"BUF":    circuit.Buf,
+	"BUFF":   circuit.Buf,
+	"XOR":    circuit.Xor,
+	"XNOR":   circuit.Xnor,
+	"DFF":    circuit.DFF,
+	"CONST0": circuit.Const0,
+	"CONST1": circuit.Const1,
+}
+
+// Parse reads a .bench netlist from r. The circuit is named name.
+func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench %s:%d: %v", name, lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %v", name, err)
+	}
+	return b.Build()
+}
+
+// ParseFile reads a .bench netlist from path; the circuit name is the
+// file's base name without the .bench extension.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".bench")
+	return Parse(base, f)
+}
+
+// ParseString parses a .bench netlist held in a string.
+func ParseString(name, text string) (*circuit.Circuit, error) {
+	return Parse(name, strings.NewReader(text))
+}
+
+func parseLine(b *circuit.Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT"):
+		sig, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		b.Input(sig)
+		return nil
+	case strings.HasPrefix(upper, "OUTPUT"):
+		sig, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		b.Output(sig)
+		return nil
+	}
+
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+	out := strings.TrimSpace(line[:eq])
+	if out == "" {
+		return fmt.Errorf("missing output signal in %q", line)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	kind, ok := kindByName[fn]
+	if !ok {
+		return fmt.Errorf("unknown gate function %q", fn)
+	}
+	var ins []string
+	argstr := strings.TrimSpace(rhs[open+1 : close])
+	if argstr != "" {
+		for _, a := range strings.Split(argstr, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return fmt.Errorf("empty fanin in %q", line)
+			}
+			ins = append(ins, a)
+		}
+	}
+	switch kind {
+	case circuit.DFF:
+		if len(ins) != 1 {
+			return fmt.Errorf("DFF %q needs exactly one fanin", out)
+		}
+		b.DFF(out, ins[0])
+	case circuit.Const0, circuit.Const1:
+		if len(ins) != 0 {
+			return fmt.Errorf("constant %q takes no fanin", out)
+		}
+		b.Const(out, kind == circuit.Const1)
+	default:
+		b.Gate(out, kind, ins...)
+	}
+	return nil
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal name in %q", line)
+	}
+	return sig, nil
+}
+
+// Write emits c to w in .bench format. The output parses back into an
+// identical circuit (same node names, same scan-chain order).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Stats())
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[po].Name)
+	}
+	// DFFs first, in scan order, so the order survives a round trip.
+	for _, ff := range c.DFFs {
+		nd := c.Nodes[ff]
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", nd.Name, c.Nodes[nd.Fanin[0]].Name)
+	}
+	for i, nd := range c.Nodes {
+		switch nd.Kind {
+		case circuit.Input, circuit.DFF:
+			continue
+		case circuit.Const0:
+			fmt.Fprintf(bw, "%s = CONST0()\n", nd.Name)
+		case circuit.Const1:
+			fmt.Fprintf(bw, "%s = CONST1()\n", nd.Name)
+		default:
+			names := make([]string, len(nd.Fanin))
+			for j, f := range nd.Fanin {
+				names[j] = c.Nodes[f].Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", nd.Name, nd.Kind, strings.Join(names, ", "))
+		}
+		_ = i
+	}
+	return bw.Flush()
+}
+
+// WriteString renders c to a .bench string.
+func WriteString(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		// strings.Builder never fails; keep the signature honest anyway.
+		panic(err)
+	}
+	return sb.String()
+}
+
+// WriteFile writes c to path in .bench format.
+func WriteFile(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

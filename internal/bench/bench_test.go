@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/samples"
+)
+
+const s27Text = `
+# s27 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := ParseString("s27", s27Text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s := c.Stats()
+	if s.PIs != 4 || s.POs != 1 || s.FFs != 3 || s.Gates != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Must be structurally identical to the hand-built sample.
+	want := samples.S27()
+	if c.NumNodes() != want.NumNodes() {
+		t.Errorf("node count %d, want %d", c.NumNodes(), want.NumNodes())
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	text := "# only comments\n\n  \nINPUT(a)\nOUTPUT(y)\ny = BUF(a)  # trailing comment\n"
+	c, err := ParseString("t", text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.NumPIs() != 1 || c.NumPOs() != 1 {
+		t.Error("comment/blank handling broke declarations")
+	}
+}
+
+func TestParseCaseInsensitiveFunctions(t *testing.T) {
+	text := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n"
+	c, err := ParseString("t", text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	yi, _ := c.NodeByName("y")
+	if c.Nodes[yi].Kind != circuit.Nand {
+		t.Errorf("kind = %v, want NAND", c.Nodes[yi].Kind)
+	}
+}
+
+func TestParseBuffAlias(t *testing.T) {
+	text := "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n"
+	c, err := ParseString("t", text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	yi, _ := c.NodeByName("y")
+	if c.Nodes[yi].Kind != circuit.Buf {
+		t.Error("BUFF should alias BUF")
+	}
+}
+
+func TestParseConst(t *testing.T) {
+	text := "OUTPUT(y)\nz = CONST0()\no = CONST1()\ny = OR(z, o)\n"
+	c, err := ParseString("t", text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	zi, _ := c.NodeByName("z")
+	if c.Nodes[zi].Kind != circuit.Const0 {
+		t.Error("CONST0 parse failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown function": "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n",
+		"no equals":        "INPUT(a)\njunk line\n",
+		"missing paren":    "INPUT a\n",
+		"empty signal":     "INPUT()\n",
+		"empty fanin":      "INPUT(a)\ny = AND(a,)\nOUTPUT(y)\n",
+		"dff arity":        "INPUT(a)\nINPUT(b)\nq = DFF(a,b)\nOUTPUT(q)\n",
+		"const with fanin": "INPUT(a)\nz = CONST0(a)\nOUTPUT(z)\n",
+		"missing output":   " = AND(a,b)\n",
+		"malformed gate":   "INPUT(a)\ny = AND a\nOUTPUT(y)\n",
+		"undefined signal": "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n",
+		"duplicate signal": "INPUT(a)\nINPUT(a)\n",
+		"undefined output": "INPUT(a)\nOUTPUT(ghost)\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseString("t", text); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := samples.S27()
+	text := WriteString(orig)
+	back, err := ParseString("s27", text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if back.NumNodes() != orig.NumNodes() {
+		t.Fatalf("node count changed: %d -> %d", orig.NumNodes(), back.NumNodes())
+	}
+	if back.NumPIs() != orig.NumPIs() || back.NumPOs() != orig.NumPOs() || back.NumFFs() != orig.NumFFs() {
+		t.Error("interface counts changed in round trip")
+	}
+	// Scan-chain order must survive.
+	for i := range orig.DFFs {
+		if orig.Nodes[orig.DFFs[i]].Name != back.Nodes[back.DFFs[i]].Name {
+			t.Errorf("scan position %d: %s -> %s", i,
+				orig.Nodes[orig.DFFs[i]].Name, back.Nodes[back.DFFs[i]].Name)
+		}
+	}
+	// Every node's function and fanin names must match.
+	for _, nd := range orig.Nodes {
+		bi, ok := back.NodeByName(nd.Name)
+		if !ok {
+			t.Errorf("node %s lost in round trip", nd.Name)
+			continue
+		}
+		bn := back.Nodes[bi]
+		if bn.Kind != nd.Kind || len(bn.Fanin) != len(nd.Fanin) {
+			t.Errorf("node %s changed: %v/%d -> %v/%d", nd.Name, nd.Kind, len(nd.Fanin), bn.Kind, len(bn.Fanin))
+			continue
+		}
+		for j := range nd.Fanin {
+			on := orig.Nodes[nd.Fanin[j]].Name
+			bnn := back.Nodes[bn.Fanin[j]].Name
+			if on != bnn {
+				t.Errorf("node %s fanin %d: %s -> %s", nd.Name, j, on, bnn)
+			}
+		}
+	}
+}
+
+func TestRoundTripConst(t *testing.T) {
+	b := circuit.NewBuilder("k")
+	b.Input("a")
+	b.Const("z", false)
+	b.Const("o", true)
+	b.Gate("y", circuit.And, "a", "z", "o")
+	b.Output("y")
+	c := b.MustBuild()
+	back, err := ParseString("k", WriteString(c))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.NumNodes() != c.NumNodes() {
+		t.Error("const round trip changed node count")
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s27.bench")
+	if err := WriteFile(path, samples.S27()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	c, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if c.Name != "s27" {
+		t.Errorf("name from file = %q, want s27", c.Name)
+	}
+	if c.NumFFs() != 3 {
+		t.Error("file round trip lost flip-flops")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.bench")); err == nil {
+		t.Error("ParseFile on missing file should fail")
+	}
+	if err := WriteFile(filepath.Join(dir, "no", "such", "dir.bench"), samples.S27()); err == nil {
+		t.Error("WriteFile into missing dir should fail")
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("t", "INPUT(a)\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("error should cite line 2, got %v", err)
+	}
+}
+
+func TestWriterOutputsHeader(t *testing.T) {
+	text := WriteString(samples.Toggle())
+	if !strings.HasPrefix(text, "# toggle:") {
+		t.Errorf("missing stats header:\n%s", text)
+	}
+}
+
+func TestParseFileNameFromNestedPath(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "nested")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "toggle.bench")
+	if err := WriteFile(path, samples.Toggle()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "toggle" {
+		t.Errorf("name = %q, want toggle", c.Name)
+	}
+}

@@ -1,0 +1,23 @@
+package bench_test
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+func ExampleParseString() {
+	c, err := bench.ParseString("counter", `
+		INPUT(en)
+		OUTPUT(q)
+		q = DFF(d)
+		d = XOR(q, en)
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(c.Stats())
+	// Output:
+	// counter: 1 PIs, 1 POs, 1 FFs, 1 gates, depth 1
+}

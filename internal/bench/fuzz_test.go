@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the .bench parser never panics and that anything it
+// accepts survives a write/re-parse round trip with identical structure.
+func FuzzParse(f *testing.F) {
+	f.Add(fuzzS27)
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = AND(a, q)\n")
+	f.Add("# empty\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = BUFF(a) # comment\n")
+	f.Add("z = CONST0()\nOUTPUT(z)\n")
+	f.Add("INPUT(a)\ny = XNOR(a, a)\nOUTPUT(y)\n")
+	f.Add("INPUT(a\nOUTPUT)y(\n= AND\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := ParseString("fuzz", text)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted circuits must be internally consistent and round-trip.
+		out := WriteString(c)
+		back, err := ParseString("fuzz", out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal:\n%s\nwritten:\n%s", err, text, out)
+		}
+		if back.NumNodes() != c.NumNodes() || back.NumPIs() != c.NumPIs() ||
+			back.NumPOs() != c.NumPOs() || back.NumFFs() != c.NumFFs() {
+			t.Fatalf("round trip changed shape:\n%s\nvs\n%s", out, WriteString(back))
+		}
+	})
+}
+
+const fuzzS27 = `INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// FuzzParseLongLines guards the scanner buffer sizing.
+func FuzzParseLongLines(f *testing.F) {
+	f.Add(10)
+	f.Add(100000)
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 0 || n > 1<<20 {
+			t.Skip()
+		}
+		name := strings.Repeat("a", n%100000+1)
+		text := "INPUT(" + name + ")\nOUTPUT(" + name + ")\n"
+		if _, err := ParseString("fuzz", text); err != nil {
+			t.Fatalf("long name rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package circuit
+
+import "fmt"
+
+// Builder constructs circuits programmatically. Signals are referred to
+// by name; definitions and uses may arrive in any order. Call Build to
+// resolve names, validate and levelize.
+type Builder struct {
+	name  string
+	nodes []Node
+	pis   []string
+	pos   []string
+	dffs  []string
+	fan   [][]string // fanin names parallel to nodes
+	defs  map[string]int
+	err   error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, defs: make(map[string]int)}
+}
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("circuit %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) define(name string, kind Kind, fanin []string) {
+	if b.err != nil {
+		return
+	}
+	if _, dup := b.defs[name]; dup {
+		b.fail("signal %q defined twice", name)
+		return
+	}
+	b.defs[name] = len(b.nodes)
+	b.nodes = append(b.nodes, Node{Kind: kind, Name: name})
+	b.fan = append(b.fan, fanin)
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) {
+	b.define(name, Input, nil)
+	b.pis = append(b.pis, name)
+}
+
+// Output marks an existing or future signal as a primary output.
+func (b *Builder) Output(name string) {
+	b.pos = append(b.pos, name)
+}
+
+// DFF declares a flip-flop whose data input is the named signal. The
+// declaration order defines the scan-chain order.
+func (b *Builder) DFF(q, d string) {
+	b.define(q, DFF, []string{d})
+	b.dffs = append(b.dffs, q)
+}
+
+// Gate declares a combinational gate driving signal out.
+func (b *Builder) Gate(out string, kind Kind, ins ...string) {
+	if !kind.IsGate() && kind != Const0 && kind != Const1 {
+		b.fail("signal %q: kind %v is not a gate", out, kind)
+		return
+	}
+	b.define(out, kind, ins)
+}
+
+// Const declares a constant driver.
+func (b *Builder) Const(out string, one bool) {
+	k := Const0
+	if one {
+		k = Const1
+	}
+	b.define(out, k, nil)
+}
+
+// Build resolves all names and returns the validated circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	c := &Circuit{Name: b.name, Nodes: b.nodes}
+	for i, names := range b.fan {
+		for _, fn := range names {
+			idx, ok := b.defs[fn]
+			if !ok {
+				return nil, fmt.Errorf("circuit %s: node %q references undefined signal %q",
+					b.name, c.Nodes[i].Name, fn)
+			}
+			c.Nodes[i].Fanin = append(c.Nodes[i].Fanin, idx)
+		}
+	}
+	for _, n := range b.pis {
+		c.PIs = append(c.PIs, b.defs[n])
+	}
+	for _, n := range b.dffs {
+		c.DFFs = append(c.DFFs, b.defs[n])
+	}
+	for _, n := range b.pos {
+		idx, ok := b.defs[n]
+		if !ok {
+			return nil, fmt.Errorf("circuit %s: output %q is not defined", b.name, n)
+		}
+		c.POs = append(c.POs, idx)
+	}
+	if err := c.finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// embedded example circuits whose correctness is static.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

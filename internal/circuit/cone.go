@@ -1,0 +1,90 @@
+package circuit
+
+// FaninCone returns the set of nodes in the transitive fanin of n,
+// including n itself, stopping at sources (PIs, flip-flop outputs,
+// constants). This is the combinational input cone: the signals whose
+// current-cycle values can influence n.
+func (c *Circuit) FaninCone(n int) []int {
+	seen := make([]bool, c.NumNodes())
+	var out []int
+	stack := []int{n}
+	seen[n] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, cur)
+		if c.IsSource(cur) {
+			continue
+		}
+		for _, f := range c.Nodes[cur].Fanin {
+			if !seen[f] {
+				seen[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return out
+}
+
+// FanoutCone returns the set of nodes in the transitive fanout of n,
+// including n itself, stopping at flip-flop boundaries (a DFF's D pin
+// ends the combinational cone; the DFF output starts a new one next
+// cycle). These are the nodes whose current-cycle values n can influence.
+func (c *Circuit) FanoutCone(n int) []int {
+	seen := make([]bool, c.NumNodes())
+	var out []int
+	stack := []int{n}
+	seen[n] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, cur)
+		for _, s := range c.Fanout(cur) {
+			if c.Nodes[s].Kind == DFF {
+				continue
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return out
+}
+
+// ObservationPoints returns the nodes where values become externally
+// visible in one cycle: the primary outputs plus the D drivers of the
+// flip-flops (observable at the next scan-out under full scan).
+func (c *Circuit) ObservationPoints() []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(n int) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, po := range c.POs {
+		add(po)
+	}
+	for _, ff := range c.DFFs {
+		add(c.Nodes[ff].Fanin[0])
+	}
+	return out
+}
+
+// InfluencesObservation reports whether node n can reach any observation
+// point combinationally — a necessary condition for any fault on n to be
+// detectable in a single frame.
+func (c *Circuit) InfluencesObservation(n int) bool {
+	obs := make(map[int]bool)
+	for _, o := range c.ObservationPoints() {
+		obs[o] = true
+	}
+	for _, m := range c.FanoutCone(n) {
+		if obs[m] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package circuit
+
+import "testing"
+
+func TestFaninCone(t *testing.T) {
+	c := buildS27(t)
+	g8, _ := c.NodeByName("G8") // G8 = AND(G14, G6); G14 = NOT(G0)
+	cone := toSet(c.FaninCone(g8))
+	for _, want := range []string{"G8", "G14", "G6", "G0"} {
+		n, _ := c.NodeByName(want)
+		if !cone[n] {
+			t.Errorf("fanin cone of G8 misses %s", want)
+		}
+	}
+	// G6 is a flip-flop (source): its D driver G11 must NOT be in the cone.
+	g11, _ := c.NodeByName("G11")
+	if cone[g11] {
+		t.Error("fanin cone crossed a flip-flop boundary")
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c := buildS27(t)
+	g14, _ := c.NodeByName("G14") // feeds G8 and G10
+	cone := toSet(c.FanoutCone(g14))
+	for _, want := range []string{"G14", "G8", "G10", "G15", "G16", "G9"} {
+		n, _ := c.NodeByName(want)
+		if !cone[n] {
+			t.Errorf("fanout cone of G14 misses %s", want)
+		}
+	}
+	// G5 = DFF(G10): the DFF node itself is beyond the boundary.
+	g5, _ := c.NodeByName("G5")
+	if cone[g5] {
+		t.Error("fanout cone crossed into a flip-flop")
+	}
+}
+
+func TestObservationPoints(t *testing.T) {
+	c := buildS27(t)
+	obs := toSet(c.ObservationPoints())
+	// PO G17 and the three D drivers G10, G11, G13.
+	for _, want := range []string{"G17", "G10", "G11", "G13"} {
+		n, _ := c.NodeByName(want)
+		if !obs[n] {
+			t.Errorf("observation points miss %s", want)
+		}
+	}
+	if len(obs) != 4 {
+		t.Errorf("observation point count = %d, want 4", len(obs))
+	}
+}
+
+func TestInfluencesObservation(t *testing.T) {
+	c := buildS27(t)
+	// Every node of s27 influences some observation point.
+	for n := range c.Nodes {
+		if !c.InfluencesObservation(n) {
+			t.Errorf("node %s claims no observation influence", c.Nodes[n].Name)
+		}
+	}
+	// A deliberately dead gate does not.
+	b := NewBuilder("dead")
+	b.Input("a")
+	b.DFF("q", "d")
+	b.Gate("d", Buf, "a")
+	b.Gate("dead", Not, "a") // no fanout, not a PO
+	b.Output("q")
+	ckt, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, _ := ckt.NodeByName("dead")
+	if ckt.InfluencesObservation(di) {
+		t.Error("dead gate cannot influence an observation point")
+	}
+}
+
+func toSet(ns []int) map[int]bool {
+	m := make(map[int]bool, len(ns))
+	for _, n := range ns {
+		m[n] = true
+	}
+	return m
+}

@@ -1,0 +1,35 @@
+// Package cliutil holds helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/verilog"
+)
+
+// LoadCircuit resolves the common -bench/-roster flag pair: benchPath
+// parses a netlist from disk (.bench format, or structural Verilog when
+// the file ends in .v), rosterName generates the synthetic substitute.
+// Exactly one must be set.
+func LoadCircuit(benchPath, rosterName string) (*circuit.Circuit, error) {
+	switch {
+	case benchPath != "" && rosterName != "":
+		return nil, fmt.Errorf("use either -bench or -roster, not both")
+	case benchPath != "":
+		if strings.HasSuffix(benchPath, ".v") || strings.HasSuffix(benchPath, ".verilog") {
+			return verilog.ParseFile(benchPath)
+		}
+		return bench.ParseFile(benchPath)
+	case rosterName != "":
+		c, ok := gen.RosterCircuit(rosterName)
+		if !ok {
+			return nil, fmt.Errorf("unknown roster circuit %q (known: %v)", rosterName, gen.RosterNames())
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("need -bench <file> or -roster <name>")
+}

@@ -1,0 +1,395 @@
+// Package core implements the paper's test compaction procedure for
+// full-scan circuits (Pomeranz & Reddy, "An Approach to Test Compaction
+// for Scan Circuits that Enhances At-Speed Testing", DAC 2001).
+//
+// Given a sequential test sequence T_0 (generated without scan) and a
+// complete combinational test set C, the procedure builds a test set
+// dominated by a single test τ_seq = (SI_seq, T_seq) with a long
+// at-speed primary-input sequence:
+//
+//	Phase 1  derive a scan-based test from T_0: pick the scan-in state SI
+//	         from the state parts of C maximizing detected faults, then
+//	         pick the earliest scan-out time u_SO that keeps every fault
+//	         of F_SI detected;
+//	Phase 2  omit vectors from the sequence ([8]-style static compaction)
+//	         without losing any detected fault;
+//	(iterate Phases 1 and 2 with T_0 ← T_C until the selected scan-in
+//	state repeats);
+//	Phase 3  add length-1 scan tests from C for still-undetected faults,
+//	         chosen by the n(f)/last(f) set-cover heuristic;
+//	Phase 4  run the static test combining of [4] on the resulting set.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/scomp"
+	"repro/internal/vecomit"
+)
+
+// Options tunes the procedure. The zero value reproduces the paper's
+// configuration.
+type Options struct {
+	// MaxIterations caps the Phase 1+2 iterations (0 = default 8; the
+	// natural stop — a repeated scan-in selection — usually hits first).
+	MaxIterations int
+	// UseBestPrefix switches Step 3 from the paper's i_0 rule (earliest
+	// covering prefix) to the alternative i_1 rule (prefix maximizing
+	// detected faults). The paper reports i_0 works better; this switch
+	// exists for the ablation benchmarks.
+	UseBestPrefix bool
+	// SkipOmission disables Phase 2 (ablation).
+	SkipOmission bool
+	// SkipStaticCompaction disables Phase 4, leaving the "initial" test
+	// set of the paper's Table 3.
+	SkipStaticCompaction bool
+	// SkipIteration runs Phases 1+2 exactly once (ablation).
+	SkipIteration bool
+	// UseLastIteration takes the literal reading of the paper's §3.3
+	// ("the final test obtained is denoted τ_seq"): τ_seq is the τ_C of
+	// the last iteration. The default keeps the best τ_C seen across
+	// iterations (highest coverage, then shortest), which can only help
+	// and guards against a final iteration that trades coverage away.
+	UseLastIteration bool
+
+	// OmitMaxLen skips Phase 2 for sequences longer than this bound
+	// (0 = default 800). Very long sequences make single-vector omission
+	// quadratic; the paper's own results show omission achieving nothing
+	// on exactly those cases (Table 5, s1423/s5378 keep length 1000).
+	OmitMaxLen int
+
+	// SIScoreSample bounds the number of faults used to *score* scan-in
+	// candidates in Step 2 (0 = default 1008, i.e. 16 simulation passes;
+	// negative = no sampling). The winning candidate is always
+	// re-simulated over the full F−F_0 set, so only the ranking is
+	// sampled, never the reported coverage.
+	SIScoreSample int
+
+	// SICandidateLimit bounds how many states of C are evaluated as
+	// scan-in candidates per iteration (0 = all, the paper's setting).
+	// When the limit is smaller than |C| the candidates are taken at a
+	// uniform stride, so the pool stays representative.
+	SICandidateLimit int
+
+	// Omit configures the Phase 2 engine.
+	Omit vecomit.Options
+	// Static configures the Phase 4 engine.
+	Static scomp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 8
+	}
+	if o.SkipIteration {
+		o.MaxIterations = 1
+	}
+	if o.OmitMaxLen == 0 {
+		o.OmitMaxLen = 800
+	}
+	if o.SIScoreSample == 0 {
+		o.SIScoreSample = 1008
+	}
+	return o
+}
+
+// IterationTrace records one Phase 1+2 iteration for diagnostics.
+type IterationTrace struct {
+	SIIndex     int // index of the selected scan-in state in C
+	Reused      bool
+	DetectedT0  int // |F_0| for this iteration's T_0
+	DetectedSI  int // |F_SI|
+	ScanOutTime int // u_SO
+	DetectedSO  int // |F_SO|
+	LenIn       int // L(T_0)
+	LenOut      int // L(T_C) after omission
+	DetectedC   int // |F_C| after omission
+}
+
+// Result carries every artifact of a full run.
+type Result struct {
+	// T0Len and T0Detected describe the initial sequence: L(T_0) and F_0
+	// (detected without scan), as reported in Tables 1, 2 and 5.
+	T0Len      int
+	T0Detected *fault.Set
+
+	// TauSeq is the single long test after the Phase 1+2 iterations, and
+	// SeqDetected its fault set F_seq (Tables 1 and 2's "scan" columns).
+	TauSeq      scan.Test
+	SeqDetected *fault.Set
+
+	// Added is the number of length-1 tests Phase 3 appended; Initial is
+	// the full test set at the end of Phase 3 with its coverage
+	// (Table 2 "added c.tst", Table 3 "init").
+	Added           int
+	Initial         *scan.Set
+	InitialDetected *fault.Set
+
+	// Final is the set after Phase 4 static compaction (Table 3 "comp");
+	// equal to Initial when SkipStaticCompaction is set.
+	Final         *scan.Set
+	FinalDetected *fault.Set
+
+	// Trace holds one entry per Phase 1+2 iteration.
+	Trace []IterationTrace
+}
+
+// Run executes the procedure. C must be non-empty with fully specified
+// state parts; T0 must be non-empty.
+func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(C) == 0 {
+		return nil, fmt.Errorf("core: empty combinational test set")
+	}
+	if len(T0) == 0 {
+		return nil, fmt.Errorf("core: empty initial sequence")
+	}
+	nf := s.NumFaults()
+	res := &Result{}
+
+	// --- Phases 1 and 2, iterated ---
+	selected := make([]bool, len(C))
+	cur := T0.Clone()
+	var best scan.Test
+	var bestDet *fault.Set
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		// Step 1: F_0 = faults detected by the sequence without scan.
+		f0 := s.Detect(cur, fsim.Options{})
+		if iter == 0 {
+			res.T0Len = len(cur)
+			res.T0Detected = f0
+		}
+
+		// Step 2: scan-in selection over the state parts of C, simulating
+		// only F - F_0. Unselected states are preferred; a selected state
+		// wins only with strictly higher coverage, and ends the iteration.
+		rest := allFaults(nf)
+		rest.SubtractWith(f0)
+		scoreTargets := rest
+		if opt.SIScoreSample > 0 && rest.Count() > opt.SIScoreSample {
+			scoreTargets = sampleSet(rest, opt.SIScoreSample)
+		}
+		candStride := 1
+		if opt.SICandidateLimit > 0 && len(C) > opt.SICandidateLimit {
+			candStride = (len(C) + opt.SICandidateLimit - 1) / opt.SICandidateLimit
+		}
+		bestUnsel, cntUnsel := -1, -1
+		bestSel, cntSel := -1, -1
+		for j := 0; j < len(C); j += candStride {
+			c := C[j]
+			n := s.Detect(cur, fsim.Options{Init: c.State, ScanOut: true, Targets: scoreTargets}).Count()
+			if selected[j] {
+				if n > cntSel {
+					bestSel, cntSel = j, n
+				}
+			} else {
+				if n > cntUnsel {
+					bestUnsel, cntUnsel = j, n
+				}
+			}
+		}
+		siIdx, reused := bestUnsel, false
+		if bestSel >= 0 && cntSel > cntUnsel {
+			siIdx, reused = bestSel, true
+		}
+		if siIdx < 0 {
+			return nil, fmt.Errorf("core: no scan-in candidate available")
+		}
+		selected[siIdx] = true
+		si := C[siIdx].State
+		siDet := s.Detect(cur, fsim.Options{Init: si, ScanOut: true, Targets: rest})
+		fsi := f0.Clone()
+		fsi.UnionWith(siDet)
+
+		// Step 3: scan-out time selection. The profile pass covers all
+		// faults so F_SO can exceed F_SI.
+		prof := s.Profile(si, cur, nil)
+		var u int
+		var fso *fault.Set
+		if opt.UseBestPrefix {
+			u, fso = prof.BestPrefix(fsi)
+		} else {
+			u = prof.EarliestPrefixCovering(fsi)
+			if u >= 0 {
+				fso = prof.DetectedByPrefixSet(u)
+			}
+		}
+		if u < 0 {
+			// Cannot happen when the full sequence detects F_SI; guard
+			// against pathological inputs anyway.
+			return nil, fmt.Errorf("core: no scan-out time covers F_SI (iteration %d)", iter)
+		}
+		tso := scan.Test{SI: si.Clone(), Seq: cur[:u+1].Clone()}
+
+		// Phase 2: vector omission (skipped beyond the length bound,
+		// where it is quadratic and historically unproductive).
+		tc := tso
+		if !opt.SkipOmission && tso.Len() <= opt.OmitMaxLen {
+			tc, _ = vecomit.CompactTest(s, tso, fso, opt.Omit)
+		}
+		fc := s.DetectTest(tc.SI, tc.Seq, nil)
+
+		res.Trace = append(res.Trace, IterationTrace{
+			SIIndex:     siIdx,
+			Reused:      reused,
+			DetectedT0:  f0.Count(),
+			DetectedSI:  fsi.Count(),
+			ScanOutTime: u,
+			DetectedSO:  fso.Count(),
+			LenIn:       len(cur),
+			LenOut:      tc.Len(),
+			DetectedC:   fc.Count(),
+		})
+
+		if opt.UseLastIteration || bestDet == nil || fc.Count() > bestDet.Count() ||
+			(fc.Count() == bestDet.Count() && tc.Len() < best.Len()) {
+			best, bestDet = tc.Clone(), fc
+		}
+		cur = tc.Seq.Clone()
+		if reused {
+			break // the paper's termination rule
+		}
+	}
+	res.TauSeq = best
+	res.SeqDetected = bestDet
+
+	// --- Phase 3: coverage top-up with length-1 tests from C ---
+	undet := allFaults(nf)
+	undet.SubtractWith(bestDet)
+	added, addedDet := phase3(s, C, undet)
+	res.Added = len(added)
+
+	res.Initial = scan.NewSet(best.Clone())
+	res.InitialDetected = bestDet.Clone()
+	for i, t := range added {
+		res.Initial.Tests = append(res.Initial.Tests, t)
+		res.InitialDetected.UnionWith(addedDet[i])
+	}
+
+	// --- Phase 4: static compaction [4] ---
+	if opt.SkipStaticCompaction {
+		res.Final = res.Initial.Clone()
+		res.FinalDetected = res.InitialDetected.Clone()
+		return res, nil
+	}
+	final, _ := scomp.Compact(s, res.Initial, opt.Static)
+	res.Final = final
+	res.FinalDetected = fault.NewSet(nf)
+	for _, t := range final.Tests {
+		res.FinalDetected.UnionWith(s.DetectTest(t.SI, t.Seq, nil))
+	}
+	return res, nil
+}
+
+// phase3 implements the n(f)/last(f) selection: repeatedly take the
+// undetected fault with the fewest detecting tests and add the last test
+// that detects it. Faults no τ_j detects are left undetected (they are
+// combinationally untestable or abortable faults outside C's coverage).
+func phase3(s *fsim.Simulator, C []atpg.CombTest, undet *fault.Set) ([]scan.Test, []*fault.Set) {
+	nf := s.NumFaults()
+	if undet.Count() == 0 {
+		return nil, nil
+	}
+	// Detection matrix over the undetected faults only.
+	det := make([]*fault.Set, len(C))
+	n := make([]int, nf)
+	last := make([]int, nf)
+	for f := 0; f < nf; f++ {
+		last[f] = -1
+	}
+	for j, c := range C {
+		det[j] = s.Detect(logic.Sequence{c.PI}, fsim.Options{Init: c.State, ScanOut: true, Targets: undet})
+		det[j].ForEach(func(f int) {
+			n[f]++
+			last[f] = j
+		})
+	}
+
+	work := undet.Clone()
+	var tests []scan.Test
+	var testDets []*fault.Set
+	for {
+		// Find the live fault with minimum n(f) > 0.
+		bestF, bestN := -1, 0
+		work.ForEach(func(f int) {
+			if n[f] == 0 {
+				return
+			}
+			if bestF < 0 || n[f] < bestN {
+				bestF, bestN = f, n[f]
+			}
+		})
+		if bestF < 0 {
+			break // all remaining faults are uncoverable by C
+		}
+		j := last[bestF]
+		tests = append(tests, C[j].ScanTest())
+		covered := det[j].Clone()
+		covered.IntersectWith(work)
+		testDets = append(testDets, covered)
+		work.SubtractWith(det[j])
+	}
+	return tests, testDets
+}
+
+func allFaults(n int) *fault.Set {
+	s := fault.NewSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// sampleSet returns a deterministic subset of roughly limit faults,
+// taken at a uniform stride.
+func sampleSet(src *fault.Set, limit int) *fault.Set {
+	total := src.Count()
+	stride := (total + limit - 1) / limit
+	if stride < 1 {
+		stride = 1
+	}
+	out := fault.NewSet(src.Len())
+	i := 0
+	src.ForEach(func(f int) {
+		if i%stride == 0 {
+			out.Add(f)
+		}
+		i++
+	})
+	return out
+}
+
+// Summary condenses a Result into the row data the paper's tables use.
+type Summary struct {
+	T0Detected    int
+	SeqDetected   int
+	FinalDetected int
+	T0Len         int
+	SeqLen        int
+	Added         int
+	InitCycles    int
+	CompCycles    int
+	AtSpeed       scan.AtSpeedStats
+}
+
+// Summarize computes the table-level metrics for a run on a circuit with
+// nsv scanned state variables.
+func (r *Result) Summarize(nsv int) Summary {
+	return Summary{
+		T0Detected:    r.T0Detected.Count(),
+		SeqDetected:   r.SeqDetected.Count(),
+		FinalDetected: r.FinalDetected.Count(),
+		T0Len:         r.T0Len,
+		SeqLen:        r.TauSeq.Len(),
+		Added:         r.Added,
+		InitCycles:    r.Initial.Cycles(nsv),
+		CompCycles:    r.Final.Cycles(nsv),
+		AtSpeed:       r.Final.AtSpeed(),
+	}
+}

@@ -1,0 +1,166 @@
+// Package diagnose implements pass/fail fault dictionary diagnosis: a
+// dictionary records, for every modeled stuck-at fault, which tests of a
+// test set it fails; an observed pass/fail signature from the tester is
+// then matched against the dictionary to rank candidate faults.
+//
+// This is the classic companion of a compaction flow — a compacted test
+// set is what actually runs on the tester, and its pass/fail syndrome is
+// the first diagnostic signal available when a part fails.
+package diagnose
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/scan"
+)
+
+// Dictionary holds the per-fault pass/fail syndromes for one test set.
+type Dictionary struct {
+	numTests  int
+	numFaults int
+	// fails[f] is a bitset over test indices the fault fails.
+	fails [][]uint64
+}
+
+// Build fault-simulates every test over every fault (no fault dropping —
+// diagnosis needs the complete syndrome, not just first detection) and
+// returns the dictionary.
+func Build(s *fsim.Simulator, ts *scan.Set) *Dictionary {
+	nf := s.NumFaults()
+	nt := len(ts.Tests)
+	words := (nt + 63) / 64
+	d := &Dictionary{numTests: nt, numFaults: nf, fails: make([][]uint64, nf)}
+	for f := 0; f < nf; f++ {
+		d.fails[f] = make([]uint64, words)
+	}
+	for ti, t := range ts.Tests {
+		det := s.DetectTest(t.SI, t.Seq, nil)
+		det.ForEach(func(f int) {
+			d.fails[f][ti>>6] |= 1 << (uint(ti) & 63)
+		})
+	}
+	return d
+}
+
+// NumTests returns the number of tests the dictionary covers.
+func (d *Dictionary) NumTests() int { return d.numTests }
+
+// Syndrome returns fault f's pass/fail signature as a bool slice
+// (true = fails that test).
+func (d *Dictionary) Syndrome(f int) []bool {
+	out := make([]bool, d.numTests)
+	for t := range out {
+		out[t] = d.fails[f][t>>6]&(1<<(uint(t)&63)) != 0
+	}
+	return out
+}
+
+// Candidate is one ranked diagnosis: a fault index and its syndrome
+// distance from the observation (0 = exact match).
+type Candidate struct {
+	Fault    int
+	Distance int
+}
+
+// Diagnose ranks faults by Hamming distance between their dictionary
+// syndrome and the observed pass/fail signature. Exact matches come
+// first; ties break by fault index for determinism. Faults that fail no
+// test at all (undetectable by this set) are excluded — they can never
+// explain a failing part.
+func (d *Dictionary) Diagnose(observed []bool, maxCandidates int) []Candidate {
+	if maxCandidates <= 0 {
+		maxCandidates = 10
+	}
+	obs := make([]uint64, (d.numTests+63)/64)
+	for t, v := range observed {
+		if t >= d.numTests {
+			break
+		}
+		if v {
+			obs[t>>6] |= 1 << (uint(t) & 63)
+		}
+	}
+	var cands []Candidate
+	for f := 0; f < d.numFaults; f++ {
+		empty := true
+		dist := 0
+		for w := range obs {
+			x := d.fails[f][w] ^ obs[w]
+			dist += popcount(x)
+			if d.fails[f][w] != 0 {
+				empty = false
+			}
+		}
+		if empty {
+			continue
+		}
+		cands = append(cands, Candidate{Fault: f, Distance: dist})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Distance != cands[j].Distance {
+			return cands[i].Distance < cands[j].Distance
+		}
+		return cands[i].Fault < cands[j].Fault
+	})
+	if len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	return cands
+}
+
+// ExactMatches returns only the candidates whose syndrome matches the
+// observation exactly (the equivalence class the tester data cannot
+// distinguish further).
+func (d *Dictionary) ExactMatches(observed []bool) *fault.Set {
+	out := fault.NewSet(d.numFaults)
+	for _, c := range d.Diagnose(observed, d.numFaults) {
+		if c.Distance == 0 {
+			out.Add(c.Fault)
+		}
+	}
+	return out
+}
+
+// Resolution computes the diagnostic resolution of the test set: the
+// number of distinct failing syndromes divided by the number of
+// detectable faults (1.0 = every detectable fault uniquely
+// identifiable from pass/fail data alone).
+func (d *Dictionary) Resolution() float64 {
+	classes := make(map[string]bool)
+	detectable := 0
+	for f := 0; f < d.numFaults; f++ {
+		empty := true
+		for _, w := range d.fails[f] {
+			if w != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		detectable++
+		key := make([]byte, 0, len(d.fails[f])*8)
+		for _, w := range d.fails[f] {
+			for b := 0; b < 8; b++ {
+				key = append(key, byte(w>>(8*b)))
+			}
+		}
+		classes[string(key)] = true
+	}
+	if detectable == 0 {
+		return 0
+	}
+	return float64(len(classes)) / float64(detectable)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

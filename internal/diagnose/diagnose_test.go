@@ -1,0 +1,169 @@
+package diagnose
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/samples"
+	"repro/internal/scan"
+	"repro/internal/scomp"
+)
+
+func buildDict(tb testing.TB) (*fsim.Simulator, *scan.Set, *Dictionary, []fault.Fault) {
+	tb.Helper()
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res, err := atpg.Generate(c, faults, atpg.Options{Seed: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := fsim.New(c, faults)
+	ts := scomp.FromCombTests(res.Tests)
+	return s, ts, Build(s, ts), faults
+}
+
+func TestDiagnoseRecoversInjectedFault(t *testing.T) {
+	s, ts, d, faults := buildDict(t)
+	// For every detectable fault: emulate the tester signature by
+	// simulating the fault, then diagnose. The true fault must appear at
+	// distance 0.
+	for fi := range faults {
+		syn := d.Syndrome(fi)
+		anyFail := false
+		for _, v := range syn {
+			anyFail = anyFail || v
+		}
+		if !anyFail {
+			continue // undetectable by this set: no signature to match
+		}
+		cands := d.Diagnose(syn, 5)
+		if len(cands) == 0 {
+			t.Fatalf("fault %d: no candidates", fi)
+		}
+		found := false
+		for _, cd := range cands {
+			if cd.Distance == 0 && cd.Fault == fi {
+				found = true
+			}
+		}
+		if !found {
+			// The true fault may be outranked only by syndrome-equivalent
+			// faults; check via ExactMatches.
+			if !d.ExactMatches(syn).Has(fi) {
+				t.Errorf("fault %d not among exact matches of its own syndrome", fi)
+			}
+		}
+	}
+	_ = s
+	_ = ts
+}
+
+func TestDiagnoseDistanceOrdering(t *testing.T) {
+	_, _, d, _ := buildDict(t)
+	// Perturb a syndrome by one test: the true fault should surface at
+	// distance 1.
+	var fi int
+	var syn []bool
+	for f := 0; f < d.numFaults; f++ {
+		syn = d.Syndrome(f)
+		for _, v := range syn {
+			if v {
+				fi = f
+				goto got
+			}
+		}
+	}
+got:
+	flipped := append([]bool(nil), syn...)
+	flipped[0] = !flipped[0]
+	cands := d.Diagnose(flipped, d.numFaults)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Distance < cands[i-1].Distance {
+			t.Fatal("candidates not sorted by distance")
+		}
+	}
+	for _, cd := range cands {
+		if cd.Fault == fi {
+			if cd.Distance > 1 {
+				t.Errorf("true fault at distance %d, want <= 1", cd.Distance)
+			}
+			return
+		}
+	}
+	t.Error("true fault missing from full candidate list")
+}
+
+func TestDiagnoseExcludesUndetectable(t *testing.T) {
+	_, _, d, _ := buildDict(t)
+	all := d.Diagnose(make([]bool, d.NumTests()), d.numFaults)
+	for _, cd := range all {
+		syn := d.Syndrome(cd.Fault)
+		any := false
+		for _, v := range syn {
+			any = any || v
+		}
+		if !any {
+			t.Fatalf("undetectable fault %d offered as candidate", cd.Fault)
+		}
+	}
+}
+
+func TestDiagnoseMaxCandidates(t *testing.T) {
+	_, _, d, _ := buildDict(t)
+	syn := d.Syndrome(0)
+	if got := len(d.Diagnose(syn, 3)); got > 3 {
+		t.Errorf("returned %d candidates, cap 3", got)
+	}
+	if got := len(d.Diagnose(syn, 0)); got > 10 {
+		t.Errorf("default cap: %d > 10", got)
+	}
+}
+
+func TestResolution(t *testing.T) {
+	_, _, d, _ := buildDict(t)
+	r := d.Resolution()
+	if r <= 0 || r > 1 {
+		t.Fatalf("resolution = %v outside (0,1]", r)
+	}
+}
+
+func TestResolutionComparesSets(t *testing.T) {
+	// A compacted set (fewer tests) cannot have higher pass/fail
+	// resolution than the uncompacted one on the same circuit? Not in
+	// general — but both must be valid fractions, and the uncompacted
+	// set of length-1 tests usually resolves better. Report only.
+	c := gen.MustGenerate(gen.Params{Name: "d", Seed: 21, PIs: 5, POs: 4, FFs: 10, Gates: 110})
+	faults := fault.Collapse(c)
+	res, err := atpg.Generate(c, faults, atpg.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fsim.New(c, faults)
+	initial := scomp.FromCombTests(res.Tests)
+	compacted, _ := scomp.Compact(s, initial, scomp.Options{})
+	d1 := Build(s, initial)
+	d2 := Build(s, compacted)
+	t.Logf("resolution: %d tests %.3f vs %d tests %.3f",
+		initial.NumTests(), d1.Resolution(), compacted.NumTests(), d2.Resolution())
+	if d1.Resolution() <= 0 || d2.Resolution() <= 0 {
+		t.Error("resolutions must be positive")
+	}
+}
+
+func TestEmptyDictionary(t *testing.T) {
+	c := samples.S27()
+	s := fsim.New(c, fault.Collapse(c))
+	d := Build(s, scan.NewSet())
+	if d.NumTests() != 0 {
+		t.Error("empty set should have zero tests")
+	}
+	if d.Resolution() != 0 {
+		t.Error("no detectable faults -> resolution 0")
+	}
+	if got := d.Diagnose(nil, 5); len(got) != 0 {
+		t.Error("empty dictionary should produce no candidates")
+	}
+}

@@ -1,0 +1,112 @@
+// Package dyncomp implements a dynamic test compaction baseline in the
+// spirit of Lee & Saluja [2,3] ("An Algorithm to Reduce Test Application
+// Time in Full Scan Designs"): instead of one scan operation per
+// combinational test, each scan-in is followed by several primary-input
+// vectors applied with the functional clock, trading scan cycles for
+// functional cycles. A scan-in/scan-out pair costs N_SV cycles, so
+// extending a test with up to N_SV functional vectors that pick up
+// additional faults is never worse than starting a new test.
+//
+// The paper cites the [2,3] results rather than re-running the tools;
+// this package regenerates that comparison column with the same
+// algorithmic idea: greedy construction of tests from a combinational
+// test set, extending each test while extra vectors keep detecting new
+// faults (up to the N_SV budget).
+package dyncomp
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/scan"
+)
+
+// Options configures the dynamic compactor.
+type Options struct {
+	// MaxExtension caps the functional vectors per test; 0 means N_SV
+	// (the break-even point against a scan operation).
+	MaxExtension int
+	// CandidateLimit bounds how many candidate vectors are evaluated per
+	// extension step (0 = default 24).
+	CandidateLimit int
+}
+
+// Stats describes one run.
+type Stats struct {
+	Tests      int
+	Extensions int
+}
+
+// Compact builds a scan test set covering every fault the combinational
+// test set C covers, using dynamic extension. The vectors offered as
+// extensions are the PI parts of C (the usual source of candidate
+// vectors in dynamic compaction: each was generated to detect specific
+// faults from a specific state, and often detects them from related
+// states too).
+func Compact(s *fsim.Simulator, C []atpg.CombTest, opt Options) (*scan.Set, Stats) {
+	var st Stats
+	nsv := s.Circuit().NumFFs()
+	if opt.MaxExtension == 0 {
+		opt.MaxExtension = nsv
+	}
+	if opt.MaxExtension < 1 {
+		opt.MaxExtension = 1
+	}
+	if opt.CandidateLimit == 0 {
+		opt.CandidateLimit = 24
+	}
+
+	// Coverage goal: everything C detects as length-1 scan tests.
+	remaining := fault.NewSet(s.NumFaults())
+	for _, t := range C {
+		remaining.UnionWith(s.DetectTest(t.State, logic.Sequence{t.PI}, nil))
+	}
+
+	// Extending a test moves its scan-out, so the final test may detect
+	// a different set than its seed; a test is credited only with what
+	// its final form detects, and the seeding sweep repeats until the
+	// goal is covered (every remaining fault has a length-1 seed in C,
+	// so each sweep that finds any payable seed makes progress).
+	out := scan.NewSet()
+	progress := true
+	for remaining.Count() > 0 && progress {
+		progress = false
+		for ci := 0; ci < len(C) && remaining.Count() > 0; ci++ {
+			cur := s.DetectTest(C[ci].State, logic.Sequence{C[ci].PI}, remaining)
+			if cur.Count() == 0 {
+				continue
+			}
+			test := C[ci].ScanTest()
+
+			// Extend while some candidate vector increases the number of
+			// remaining faults the test detects, within the functional
+			// budget.
+			for test.Len() < opt.MaxExtension {
+				bestGot := cur
+				var bestVec logic.Vector
+				tried := 0
+				for cj := ci + 1; cj < len(C) && tried < opt.CandidateLimit; cj++ {
+					candSeq := append(test.Seq.Clone(), C[cj].PI)
+					got := s.DetectTest(test.SI, candSeq, remaining)
+					tried++
+					if got.Count() > bestGot.Count() {
+						bestGot, bestVec = got, C[cj].PI
+					}
+				}
+				if bestVec == nil {
+					break
+				}
+				test.Seq = append(test.Seq, bestVec.Clone())
+				cur = bestGot
+				st.Extensions++
+			}
+
+			remaining.SubtractWith(cur)
+			out.Tests = append(out.Tests, test)
+			st.Tests++
+			progress = true
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,180 @@
+// Package equiv checks combinational equivalence of two circuits with
+// matching interfaces (same PI, PO and flip-flop counts, matched by
+// position): both are evaluated as single-frame functions from
+// (PI, present state) to (PO, next state) and compared — exhaustively
+// when the input space is small, otherwise with seeded random sampling
+// in 64-pattern parallel batches.
+//
+// The checker is used to validate netlist transformations (format round
+// trips, generator refactors). It is a simulation checker, not a formal
+// one: a "pass" with random sampling is evidence, not proof; an
+// exhaustive pass (reported via Result.Exhaustive) is proof.
+package equiv
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Options tunes the check.
+type Options struct {
+	// ExhaustiveLimit is the maximum PI+FF count for exhaustive
+	// enumeration (0 = default 16, i.e. up to 65536 assignments).
+	ExhaustiveLimit int
+	// RandomTrials is the number of random assignments when exhaustive
+	// checking is off the table (0 = default 4096).
+	RandomTrials int
+	// Seed drives the random sampling.
+	Seed int64
+}
+
+// Result reports the outcome.
+type Result struct {
+	// Equivalent is the verdict over the assignments tried.
+	Equivalent bool
+	// Exhaustive reports whether the whole input space was covered
+	// (making a positive verdict a proof).
+	Exhaustive bool
+	// Tried is the number of assignments evaluated.
+	Tried int
+	// CounterPI/CounterState hold a distinguishing assignment when
+	// Equivalent is false.
+	CounterPI    logic.Vector
+	CounterState logic.Vector
+}
+
+// Check compares a and b. An interface mismatch returns an error.
+func Check(a, b *circuit.Circuit, opt Options) (*Result, error) {
+	if a.NumPIs() != b.NumPIs() || a.NumFFs() != b.NumFFs() || a.NumPOs() != b.NumPOs() {
+		return nil, fmt.Errorf("equiv: interface mismatch: %s vs %s", a.Stats(), b.Stats())
+	}
+	if opt.ExhaustiveLimit == 0 {
+		opt.ExhaustiveLimit = 16
+	}
+	if opt.RandomTrials == 0 {
+		opt.RandomTrials = 4096
+	}
+	nin := a.NumPIs() + a.NumFFs()
+
+	res := &Result{Equivalent: true}
+	ea, eb := sim.New(a), sim.New(b)
+
+	// compare evaluates up to 64 assignments at once; assignment k is
+	// encoded in slot k from the packed input words.
+	compare := func(assigns []uint64) bool {
+		loadInputs(ea, a, assigns)
+		loadInputs(eb, b, assigns)
+		ea.EvalComb()
+		eb.EvalComb()
+		for i := 0; i < a.NumPOs(); i++ {
+			if d := logic.DiffDefinite(ea.PO(i), eb.PO(i)); d != 0 {
+				res.fail(a, assigns, d)
+				return false
+			}
+		}
+		na, nb := ea.NextState(), eb.NextState()
+		for i := range na {
+			if d := logic.DiffDefinite(na[i], nb[i]); d != 0 {
+				res.fail(a, assigns, d)
+				return false
+			}
+		}
+		return true
+	}
+
+	if nin <= opt.ExhaustiveLimit {
+		res.Exhaustive = true
+		total := uint64(1) << uint(nin)
+		batch := make([]uint64, 0, 64)
+		for m := uint64(0); m < total; m++ {
+			batch = append(batch, m)
+			if len(batch) == 64 || m == total-1 {
+				res.Tried += len(batch)
+				if !compare(batch) {
+					res.Equivalent = false
+					return res, nil
+				}
+				batch = batch[:0]
+			}
+		}
+		return res, nil
+	}
+
+	rng := newXorshift(uint64(opt.Seed) | 1)
+	batch := make([]uint64, 64)
+	for done := 0; done < opt.RandomTrials; done += 64 {
+		for i := range batch {
+			batch[i] = rng.next()
+		}
+		res.Tried += len(batch)
+		if !compare(batch) {
+			res.Equivalent = false
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// loadInputs packs the assignment bits into the engine: input j of
+// assignment k lands in slot k of signal j.
+func loadInputs(e *sim.Engine, c *circuit.Circuit, assigns []uint64) {
+	npi := c.NumPIs()
+	for j := 0; j < npi; j++ {
+		var w logic.Word
+		for k, m := range assigns {
+			if m>>uint(j)&1 == 1 {
+				w = w.Set(uint(k), logic.One)
+			} else {
+				w = w.Set(uint(k), logic.Zero)
+			}
+		}
+		e.SetPI(j, w)
+	}
+	for j := 0; j < c.NumFFs(); j++ {
+		var w logic.Word
+		for k, m := range assigns {
+			if m>>uint(npi+j)&1 == 1 {
+				w = w.Set(uint(k), logic.One)
+			} else {
+				w = w.Set(uint(k), logic.Zero)
+			}
+		}
+		e.SetState(j, w)
+	}
+}
+
+// fail records the first differing slot as a counterexample.
+func (r *Result) fail(c *circuit.Circuit, assigns []uint64, diff uint64) {
+	slot := 0
+	for ; slot < 64; slot++ {
+		if diff>>uint(slot)&1 == 1 {
+			break
+		}
+	}
+	m := assigns[slot]
+	r.CounterPI = make(logic.Vector, c.NumPIs())
+	for j := range r.CounterPI {
+		r.CounterPI[j] = logic.Value(m >> uint(j) & 1)
+	}
+	r.CounterState = make(logic.Vector, c.NumFFs())
+	for j := range r.CounterState {
+		r.CounterState[j] = logic.Value(m >> uint(c.NumPIs()+j) & 1)
+	}
+}
+
+// xorshift is a tiny deterministic generator; math/rand would do, but a
+// local one keeps the hot loop allocation-free and the seed contract
+// explicit.
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift { return &xorshift{s: seed} }
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}

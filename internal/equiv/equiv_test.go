@@ -1,0 +1,153 @@
+package equiv
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/samples"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+)
+
+func TestEquivalentRoundTrips(t *testing.T) {
+	orig := samples.S27()
+	viaBench, err := bench.ParseString("s27", bench.WriteString(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVerilog, err := verilog.ParseString(verilog.WriteString(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]*circuit.Circuit{"bench": viaBench, "verilog": viaVerilog} {
+		res, err := Check(orig, other, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s round trip not equivalent: PI=%s state=%s",
+				name, res.CounterPI, res.CounterState)
+		}
+		if !res.Exhaustive {
+			t.Errorf("%s: s27 (7 inputs) should be checked exhaustively", name)
+		}
+		if res.Tried != 1<<7 {
+			t.Errorf("%s: tried %d assignments, want 128", name, res.Tried)
+		}
+	}
+}
+
+func TestInequivalentCaught(t *testing.T) {
+	mk := func(kind circuit.Kind) *circuit.Circuit {
+		b := circuit.NewBuilder("m")
+		b.Input("a")
+		b.Input("bb")
+		b.Gate("y", kind, "a", "bb")
+		b.Output("y")
+		return b.MustBuild()
+	}
+	res, err := Check(mk(circuit.And), mk(circuit.Or), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("AND and OR declared equivalent")
+	}
+	// The counterexample must actually distinguish them: AND != OR only
+	// when exactly one input is 1.
+	ones := 0
+	for _, v := range res.CounterPI {
+		if v.String() == "1" {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Errorf("counterexample %s does not distinguish AND from OR", res.CounterPI)
+	}
+}
+
+func TestSubtleDifferenceExhaustive(t *testing.T) {
+	// y = a XOR b XOR c versus y = a OR b OR c differ on few minterms;
+	// exhaustive checking must catch it regardless of seed.
+	mk := func(kind circuit.Kind) *circuit.Circuit {
+		b := circuit.NewBuilder("m")
+		b.Input("a")
+		b.Input("bb")
+		b.Input("cc")
+		b.Gate("y", kind, "a", "bb", "cc")
+		b.Output("y")
+		return b.MustBuild()
+	}
+	res, err := Check(mk(circuit.Xor), mk(circuit.Or), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Error("XOR3 vs OR3 declared equivalent")
+	}
+}
+
+func TestRandomModeOnLargerCircuit(t *testing.T) {
+	// 30+ inputs forces random sampling; a circuit is equivalent to
+	// itself, and a mutated copy is not.
+	c := gen.MustGenerate(gen.Params{Name: "e", Seed: 5, PIs: 20, POs: 6, FFs: 20, Gates: 200})
+	res, err := Check(c, c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.Exhaustive {
+		t.Errorf("self-check: equivalent=%v exhaustive=%v", res.Equivalent, res.Exhaustive)
+	}
+
+	// Mutate one gate kind and expect a mismatch (random sampling over
+	// 4096 trials catches a flipped gate in a live cone with high
+	// probability; the seed pins the outcome).
+	mut := c.Clone()
+	for i := range mut.Nodes {
+		if mut.Nodes[i].Kind == circuit.And && len(mut.Nodes[i].Fanin) >= 2 {
+			mut.Nodes[i].Kind = circuit.Nand
+			break
+		}
+	}
+	mut2, err := bench.ParseString(mut.Name, bench.WriteString(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Check(c, mut2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Error("mutated circuit declared equivalent (sampling missed it)")
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	if _, err := Check(samples.S27(), samples.Comb4(), Options{}); err == nil {
+		t.Error("interface mismatch must error")
+	}
+}
+
+func TestCounterexampleReplays(t *testing.T) {
+	mk := func(kind circuit.Kind) *circuit.Circuit {
+		b := circuit.NewBuilder("m")
+		b.Input("a")
+		b.Input("bb")
+		b.Gate("y", kind, "a", "bb")
+		b.Output("y")
+		return b.MustBuild()
+	}
+	a, o := mk(circuit.And), mk(circuit.Or)
+	res, _ := Check(a, o, Options{})
+	if res.Equivalent {
+		t.Fatal("expected inequivalence")
+	}
+	// Replaying the counterexample must reproduce the difference.
+	poA, _ := sim.EvalCombScalar(a, res.CounterPI, res.CounterState)
+	poB, _ := sim.EvalCombScalar(o, res.CounterPI, res.CounterState)
+	if poA.Equal(poB) {
+		t.Errorf("counterexample %s does not replay", res.CounterPI)
+	}
+}

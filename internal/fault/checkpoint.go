@@ -1,0 +1,41 @@
+package fault
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Checkpoints returns the checkpoint fault list of c: stuck-at faults on
+// primary inputs and on fanout branches only. By the checkpoint theorem,
+// in an irredundant combinational circuit a test set detecting every
+// checkpoint fault detects every stuck-at fault — the checkpoints
+// dominate the rest of the universe. The list is typically much smaller
+// than even the collapsed universe and is a common ATPG target list.
+//
+// Flip-flop outputs are treated like primary inputs (they are checkpoint
+// origins of the combinational frame), and flip-flop D pins like primary
+// outputs' cones — branch faults feeding them count when the driver has
+// fanout greater than one.
+func Checkpoints(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for _, pi := range c.PIs {
+		out = append(out,
+			Fault{Node: pi, Pin: -1, Stuck: logic.Zero},
+			Fault{Node: pi, Pin: -1, Stuck: logic.One})
+	}
+	for _, ff := range c.DFFs {
+		out = append(out,
+			Fault{Node: ff, Pin: -1, Stuck: logic.Zero},
+			Fault{Node: ff, Pin: -1, Stuck: logic.One})
+	}
+	for n := range c.Nodes {
+		for p, d := range c.Nodes[n].Fanin {
+			if fanoutConnections(c, d) > 1 {
+				out = append(out,
+					Fault{Node: n, Pin: p, Stuck: logic.Zero},
+					Fault{Node: n, Pin: p, Stuck: logic.One})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package fault_test
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/samples"
+)
+
+func ExampleCollapse() {
+	c := samples.S27()
+	full := fault.Universe(c)
+	collapsed := fault.Collapse(c)
+	checkpoints := fault.Checkpoints(c)
+	fmt.Println("universe:   ", len(full))
+	fmt.Println("collapsed:  ", len(collapsed))
+	fmt.Println("checkpoints:", len(checkpoints))
+	// Output:
+	// universe:    76
+	// collapsed:   32
+	// checkpoints: 32
+}

@@ -1,0 +1,155 @@
+// Package fault defines the single stuck-at fault model: fault universe
+// enumeration, structural equivalence collapsing, and fault-set bookkeeping.
+//
+// A fault is a line stuck at 0 or 1. Lines are node outputs (stems) and
+// gate input pins (branches). The collapsed universe returned by Collapse
+// is what the test generators and fault simulators target; the paper's
+// "total faults" column corresponds to the uncollapsed universe size.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Fault is a single stuck-at fault. Pin == -1 places the fault on the
+// output of Node; Pin >= 0 places it on Node's Pin-th input connection.
+type Fault struct {
+	Node  int
+	Pin   int
+	Stuck logic.Value
+}
+
+// String renders the fault in the conventional "<line> s-a-<v>" form.
+// It needs the circuit for node names.
+func (f Fault) String(c *circuit.Circuit) string {
+	if f.Pin < 0 {
+		return fmt.Sprintf("%s s-a-%s", c.Nodes[f.Node].Name, f.Stuck)
+	}
+	return fmt.Sprintf("%s.in%d(%s) s-a-%s",
+		c.Nodes[f.Node].Name, f.Pin, c.Nodes[c.Nodes[f.Node].Fanin[f.Pin]].Name, f.Stuck)
+}
+
+// Injection converts the fault into a simulator injection affecting the
+// slots in mask.
+func (f Fault) Injection(mask uint64) sim.Injection {
+	return sim.Injection{Node: f.Node, Pin: f.Pin, Stuck: f.Stuck, Mask: mask}
+}
+
+// Universe enumerates the full (uncollapsed) single stuck-at fault list
+// of c: two faults per node output and two per gate/DFF input pin.
+// Constant nodes get no output faults (a stuck constant is meaningless
+// for one of the two values and undetectable for the other).
+func Universe(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for n := range c.Nodes {
+		kind := c.Nodes[n].Kind
+		if kind == circuit.Const0 || kind == circuit.Const1 {
+			continue
+		}
+		out = append(out,
+			Fault{Node: n, Pin: -1, Stuck: logic.Zero},
+			Fault{Node: n, Pin: -1, Stuck: logic.One})
+		for p := range c.Nodes[n].Fanin {
+			out = append(out,
+				Fault{Node: n, Pin: p, Stuck: logic.Zero},
+				Fault{Node: n, Pin: p, Stuck: logic.One})
+		}
+	}
+	return out
+}
+
+// Collapse reduces the full universe to one representative per structural
+// equivalence class and returns the collapsed list. The classic rules:
+//
+//   - an input s-a-v of an AND (v=0), OR (v=1), NAND (v=0, inverted),
+//     NOR (v=1, inverted), NOT or BUF collapses into the output fault;
+//   - a branch fault on the single fanout of a stem collapses into the
+//     stem fault.
+//
+// Collapsing proceeds from inputs toward outputs so chains (e.g. BUF
+// runs) collapse transitively.
+func Collapse(c *circuit.Circuit) []Fault {
+	type key struct {
+		node, pin int
+		stuck     logic.Value
+	}
+	// parent maps a fault to the fault it is equivalent to (toward POs).
+	parent := make(map[key]key)
+	find := func(k key) key {
+		for {
+			p, ok := parent[k]
+			if !ok {
+				return k
+			}
+			k = p
+		}
+	}
+	link := func(from, to key) { parent[from] = to }
+
+	for n := range c.Nodes {
+		nd := &c.Nodes[n]
+		// Branch-to-stem collapse: if the driver of pin p has exactly one
+		// consumer connection, the pin fault is the stem fault.
+		for p, d := range nd.Fanin {
+			if fanoutConnections(c, d) == 1 {
+				link(key{n, p, logic.Zero}, key{d, -1, logic.Zero})
+				link(key{n, p, logic.One}, key{d, -1, logic.One})
+			}
+		}
+		// Gate-equivalence collapse of input faults into the output fault.
+		switch nd.Kind {
+		case circuit.And:
+			for p := range nd.Fanin {
+				link(find(key{n, p, logic.Zero}), key{n, -1, logic.Zero})
+			}
+		case circuit.Nand:
+			for p := range nd.Fanin {
+				link(find(key{n, p, logic.Zero}), key{n, -1, logic.One})
+			}
+		case circuit.Or:
+			for p := range nd.Fanin {
+				link(find(key{n, p, logic.One}), key{n, -1, logic.One})
+			}
+		case circuit.Nor:
+			for p := range nd.Fanin {
+				link(find(key{n, p, logic.One}), key{n, -1, logic.Zero})
+			}
+		case circuit.Not:
+			link(find(key{n, 0, logic.Zero}), key{n, -1, logic.One})
+			link(find(key{n, 0, logic.One}), key{n, -1, logic.Zero})
+		case circuit.Buf:
+			link(find(key{n, 0, logic.Zero}), key{n, -1, logic.Zero})
+			link(find(key{n, 0, logic.One}), key{n, -1, logic.One})
+		}
+	}
+
+	seen := make(map[key]bool)
+	var out []Fault
+	for _, f := range Universe(c) {
+		k := find(key{f.Node, f.Pin, f.Stuck})
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Fault{Node: k.node, Pin: k.pin, Stuck: k.stuck})
+	}
+	return out
+}
+
+// fanoutConnections counts how many input pins read node n (a node
+// feeding two pins of the same gate counts twice).
+func fanoutConnections(c *circuit.Circuit, n int) int {
+	total := 0
+	for _, consumer := range c.Fanout(n) {
+		for _, f := range c.Nodes[consumer].Fanin {
+			if f == n {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,122 @@
+package fault
+
+import "math/bits"
+
+// Set is a bitset over fault indices (positions in a collapsed fault
+// list). The zero value of a Set created with NewSet(n) is empty.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// NewSet returns an empty set over n fault indices.
+func NewSet(n int) *Set {
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the universe size the set was created for.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts fault index i.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes fault index i.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether fault index i is in the set.
+func (s *Set) Has(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of faults in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := NewSet(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith adds every fault in other to s.
+func (s *Set) UnionWith(other *Set) {
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// SubtractWith removes every fault in other from s.
+func (s *Set) SubtractWith(other *Set) {
+	for i, w := range other.words {
+		s.words[i] &^= w
+	}
+}
+
+// IntersectWith keeps only faults present in both sets.
+func (s *Set) IntersectWith(other *Set) {
+	for i, w := range other.words {
+		s.words[i] &= w
+	}
+}
+
+// ContainsAll reports whether every fault in other is also in s.
+func (s *Set) ContainsAll(other *Set) bool {
+	for i, w := range other.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether both sets hold exactly the same faults.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range other.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every fault index in the set, in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the members as a sorted slice.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// FromIndices builds a set over n indices containing exactly idx.
+func FromIndices(n int, idx []int) *Set {
+	s := NewSet(n)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}

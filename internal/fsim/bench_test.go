@@ -1,0 +1,54 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/logic"
+)
+
+func benchSetup(b *testing.B) (*Simulator, logic.Sequence, logic.Vector) {
+	b.Helper()
+	c := gen.MustGenerate(gen.Params{Name: "b", Seed: 2, PIs: 8, POs: 6, FFs: 32, Gates: 500})
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(1))
+	seq := randomSeq(r, c.NumPIs(), 64)
+	si := make(logic.Vector, c.NumFFs())
+	for i := range si {
+		si[i] = logic.Value(r.Intn(2))
+	}
+	return s, seq, si
+}
+
+// BenchmarkDetectScanTest measures a full scan-test fault simulation
+// (~1.2k collapsed faults, 64 vectors) with fault dropping.
+func BenchmarkDetectScanTest(b *testing.B) {
+	s, seq, si := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.DetectTest(si, seq, nil)
+	}
+	b.ReportMetric(float64(s.NumFaults()), "faults")
+}
+
+// BenchmarkDetectNoScan measures grading a sequence from the all-X state.
+func BenchmarkDetectNoScan(b *testing.B) {
+	s, seq, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Detect(seq, Options{})
+	}
+}
+
+// BenchmarkProfile measures the per-time detection profile used by
+// Phase 1 Step 3 (no early exit: every fault simulated to the end).
+func BenchmarkProfile(b *testing.B) {
+	s, seq, si := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Profile(si, seq, nil)
+	}
+}

@@ -1,0 +1,288 @@
+// Package fsim implements fault simulation for full-scan circuits using
+// the parallel-fault method: each pass packs the good machine into slot 0
+// and up to 63 faulty machines into slots 1..63 of the dual-rail word
+// simulator, then replays an input sequence once for the whole pass.
+//
+// Detection criteria follow standard practice: a fault is detected when a
+// primary output carries definite, differing values in the good and
+// faulty machines at some time unit, or — for scan tests — when the
+// flip-flop state after the final functional clock differs observably
+// (full scan makes every flip-flop observable at scan-out).
+package fsim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// batchSize is the number of faulty machines per simulation pass (slot 0
+// is reserved for the good machine).
+const batchSize = 63
+
+// Simulator fault-simulates one circuit against a fixed fault list.
+// The fault list order defines fault indices used in all result sets.
+// A Simulator is not safe for concurrent use; create one per goroutine.
+//
+// The simulator carries the circuit's scan configuration: under full
+// scan (New) a scan-in vector addresses every flip-flop and a scan-out
+// observes every flip-flop; under partial scan (NewChain) scan-in
+// vectors are indexed by chain position, unscanned flip-flops power up
+// X at the start of every test, and only scanned flip-flops are
+// observable at scan-out.
+type Simulator struct {
+	c        *circuit.Circuit
+	faults   []fault.Fault
+	eng      *sim.Engine
+	chain    []int // scanned FF positions in scan order; nil = full scan
+	observed []int // FF positions compared at scan-out
+
+	// reusable buffers
+	injBuf []sim.Injection
+	idxBuf []int
+}
+
+// New returns a full-scan Simulator for c over the given fault list
+// (typically fault.Collapse(c)).
+func New(c *circuit.Circuit, faults []fault.Fault) *Simulator {
+	s := &Simulator{c: c, faults: faults, eng: sim.New(c)}
+	s.observed = make([]int, c.NumFFs())
+	for i := range s.observed {
+		s.observed[i] = i
+	}
+	return s
+}
+
+// NewChain returns a Simulator whose scan operations follow ch. A nil
+// chain means full scan.
+func NewChain(c *circuit.Circuit, faults []fault.Fault, ch *scan.Chain) *Simulator {
+	s := New(c, faults)
+	if ch != nil {
+		s.chain = append([]int(nil), ch.FFs...)
+		s.observed = s.chain
+	}
+	return s
+}
+
+// Chain returns the scanned flip-flop positions in scan order, or nil
+// under full scan. Do not modify the returned slice.
+func (s *Simulator) Chain() []int { return s.chain }
+
+// Nsv returns the number of scanned state variables (the cost model's
+// N_SV): the chain length, or every flip-flop under full scan.
+func (s *Simulator) Nsv() int {
+	if s.chain == nil {
+		return s.c.NumFFs()
+	}
+	return len(s.chain)
+}
+
+// scanIn loads the scan-in vector: under full scan si is indexed by
+// flip-flop position; under partial scan by chain position, with
+// unscanned flip-flops left X.
+func (s *Simulator) scanIn(si logic.Vector) {
+	nff := s.c.NumFFs()
+	if s.chain == nil {
+		if si == nil {
+			si = logic.NewVector(nff, logic.X)
+		}
+		s.eng.SetStateVector(si)
+		return
+	}
+	s.eng.SetStateVector(logic.NewVector(nff, logic.X))
+	for k, ff := range s.chain {
+		v := logic.X
+		if si != nil && k < len(si) {
+			v = si[k]
+		}
+		s.eng.SetState(ff, logic.FromValue(v))
+	}
+}
+
+// Circuit returns the simulated netlist.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// Faults returns the fault list (do not modify).
+func (s *Simulator) Faults() []fault.Fault { return s.faults }
+
+// NumFaults returns the size of the fault list.
+func (s *Simulator) NumFaults() int { return len(s.faults) }
+
+// Options selects what a Detect run observes and simulates.
+type Options struct {
+	// Init is the scan-in state; nil runs without scan from the all-X
+	// power-up state.
+	Init logic.Vector
+	// ScanOut adds the final flip-flop state to the observation points
+	// (the scan-out compare of a scan test).
+	ScanOut bool
+	// Targets limits simulation to the faults in the set; nil simulates
+	// the whole fault list.
+	Targets *fault.Set
+	// Potential, when non-nil, additionally collects potential
+	// detections: faults whose faulty machine shows X at an observation
+	// point where the good machine is definite. On silicon such a fault
+	// is detected with some probability; sequential ATPG tools report
+	// the count separately. A fault can appear in both sets (hard at one
+	// point, potential at another). Enabling this disables the per-pass
+	// early exit.
+	Potential *fault.Set
+}
+
+// Detect fault-simulates seq under opt and returns the set of detected
+// faults. Within each pass, simulation stops early once every fault in
+// the pass is detected (unless the scan-out compare could still matter,
+// which it cannot once everything is detected).
+func (s *Simulator) Detect(seq logic.Sequence, opt Options) *fault.Set {
+	detected := fault.NewSet(len(s.faults))
+	targets := s.targetIndices(opt.Targets)
+	for start := 0; start < len(targets); start += batchSize {
+		end := start + batchSize
+		if end > len(targets) {
+			end = len(targets)
+		}
+		s.runBatch(targets[start:end], seq, opt, detected, nil)
+	}
+	return detected
+}
+
+// DetectTest is Detect for a scan test (SI, T) with scan-out observation.
+func (s *Simulator) DetectTest(si logic.Vector, seq logic.Sequence, targets *fault.Set) *fault.Set {
+	return s.Detect(seq, Options{Init: si, ScanOut: true, Targets: targets})
+}
+
+// AllDetected reports whether the scan test (si, seq) detects every fault
+// in must. It aborts as soon as that becomes impossible... it cannot
+// abort on failure early (absence of detection needs the full run), but
+// it does stop each pass as soon as all its faults are detected.
+func (s *Simulator) AllDetected(si logic.Vector, seq logic.Sequence, must *fault.Set) bool {
+	got := s.DetectTest(si, seq, must)
+	return got.ContainsAll(must)
+}
+
+// targetIndices resolves the target set to a slice of fault indices,
+// reusing an internal buffer.
+func (s *Simulator) targetIndices(targets *fault.Set) []int {
+	s.idxBuf = s.idxBuf[:0]
+	if targets == nil {
+		for i := range s.faults {
+			s.idxBuf = append(s.idxBuf, i)
+		}
+	} else {
+		targets.ForEach(func(i int) { s.idxBuf = append(s.idxBuf, i) })
+	}
+	return s.idxBuf
+}
+
+// runBatch simulates one parallel-fault pass over seq. batch holds the
+// fault indices for slots 1..len(batch). Detections are added to
+// detected. If profile is non-nil, per-time detection data is recorded
+// into it instead of early-exiting.
+func (s *Simulator) runBatch(batch []int, seq logic.Sequence, opt Options, detected *fault.Set, profile *Profile) {
+	eng := s.eng
+	eng.Reset()
+	s.injBuf = s.injBuf[:0]
+	var batchMask uint64
+	for bi, fi := range batch {
+		mask := uint64(1) << uint(bi+1)
+		batchMask |= mask
+		s.injBuf = append(s.injBuf, s.faults[fi].Injection(mask))
+	}
+	eng.SetInjections(s.injBuf)
+
+	s.scanIn(opt.Init)
+
+	var detMask uint64
+	for u, vec := range seq {
+		eng.SetPIVector(vec)
+		eng.EvalComb()
+		var diff, pot uint64
+		for i := range s.c.POs {
+			w := eng.PO(i)
+			g := w.BroadcastSlot(0)
+			diff |= logic.DiffDefinite(w, g)
+			if opt.Potential != nil {
+				pot |= g.Defined() &^ w.Defined()
+			}
+		}
+		if pot &= batchMask; pot != 0 {
+			for bi := range batch {
+				if pot&(1<<uint(bi+1)) != 0 {
+					opt.Potential.Add(batch[bi])
+				}
+			}
+		}
+		diff &= batchMask &^ detMask
+		if diff != 0 {
+			for bi := range batch {
+				if diff&(1<<uint(bi+1)) != 0 {
+					detected.Add(batch[bi])
+					if profile != nil {
+						profile.poDetect[batch[bi]] = int32(u)
+					}
+				}
+			}
+			detMask |= diff
+		}
+		eng.ClockFF()
+		if profile != nil {
+			// Record which faults a scan-out after this clock would catch.
+			var sdiff uint64
+			for _, i := range s.observed {
+				w := eng.State(i)
+				sdiff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+			}
+			sdiff &= batchMask
+			if sdiff != 0 {
+				for bi := range batch {
+					if sdiff&(1<<uint(bi+1)) != 0 {
+						profile.setStateDiff(batch[bi], u)
+					}
+				}
+			}
+			continue
+		}
+		if detMask == batchMask && opt.Potential == nil {
+			return // every fault in this pass already detected
+		}
+	}
+	if opt.ScanOut {
+		var sdiff, spot uint64
+		for _, i := range s.observed {
+			w := eng.State(i)
+			g := w.BroadcastSlot(0)
+			sdiff |= logic.DiffDefinite(w, g)
+			if opt.Potential != nil {
+				spot |= g.Defined() &^ w.Defined()
+			}
+		}
+		if spot &= batchMask; spot != 0 {
+			for bi := range batch {
+				if spot&(1<<uint(bi+1)) != 0 {
+					opt.Potential.Add(batch[bi])
+				}
+			}
+		}
+		sdiff &= batchMask &^ detMask
+		for bi := range batch {
+			if sdiff&(1<<uint(bi+1)) != 0 {
+				detected.Add(batch[bi])
+			}
+		}
+	}
+}
+
+// GoodTrace returns the good-machine trace of seq from init (nil = all X).
+func (s *Simulator) GoodTrace(init logic.Vector, seq logic.Sequence) *sim.Trace {
+	return sim.RunSequence(s.c, init, seq)
+}
+
+// Coverage is the fraction of the fault list detected by set (0..1).
+func Coverage(detected *fault.Set, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(detected.Count()) / float64(total)
+}

@@ -1,0 +1,114 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/samples"
+)
+
+// Property: restricting Targets never changes membership for the
+// targeted faults — Detect(T) == Detect(all) ∩ T.
+func TestPropertyTargetRestriction(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "p", Seed: 3, PIs: 5, POs: 4, FFs: 8, Gates: 80})
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		seq := randomSeq(r, c.NumPIs(), 1+r.Intn(12))
+		si := randomSeq(r, c.NumFFs(), 1)[0]
+		scanOut := r.Intn(2) == 0
+		full := s.Detect(seq, Options{Init: si, ScanOut: scanOut})
+		targets := fault.NewSet(len(faults))
+		for i := range faults {
+			if r.Intn(3) == 0 {
+				targets.Add(i)
+			}
+		}
+		part := s.Detect(seq, Options{Init: si, ScanOut: scanOut, Targets: targets})
+		want := full.Clone()
+		want.IntersectWith(targets)
+		if !part.Equal(want) {
+			t.Fatalf("trial %d: targeted run diverges", trial)
+		}
+	}
+}
+
+// Property: PO-only detection is monotone in sequence extension — every
+// fault a prefix detects, the longer run detects too (scan-out excluded;
+// it is deliberately non-monotone).
+func TestPropertyPrefixMonotoneWithoutScanOut(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		seq := randomSeq(r, c.NumPIs(), 4+r.Intn(10))
+		si := randomSeq(r, c.NumFFs(), 1)[0]
+		prev := fault.NewSet(len(faults))
+		for u := 1; u <= len(seq); u++ {
+			cur := s.Detect(seq[:u], Options{Init: si})
+			if !cur.ContainsAll(prev) {
+				t.Fatalf("trial %d: detection lost when extending to %d vectors", trial, u)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Property: adding scan-out observation never loses a PO detection.
+func TestPropertyScanOutOnlyAdds(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		seq := randomSeq(r, c.NumPIs(), 1+r.Intn(10))
+		si := randomSeq(r, c.NumFFs(), 1)[0]
+		po := s.Detect(seq, Options{Init: si})
+		both := s.Detect(seq, Options{Init: si, ScanOut: true})
+		if !both.ContainsAll(po) {
+			t.Fatalf("trial %d: scan-out removed a PO detection", trial)
+		}
+	}
+}
+
+// Property: a fully specified scan-in never detects fewer faults than
+// the all-X scan-in for the same sequence (more definite values can only
+// create, never destroy, definite differences... this holds for
+// detection counts via monotonicity of 3-valued simulation).
+func TestPropertyDefiniteScanInDominatesUnknown(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		seq := randomSeq(r, c.NumPIs(), 3+r.Intn(8))
+		si := randomSeq(r, c.NumFFs(), 1)[0]
+		unknown := s.Detect(seq, Options{})
+		withSI := s.Detect(seq, Options{Init: si})
+		if !withSI.ContainsAll(unknown) {
+			t.Fatalf("trial %d: specifying the scan-in lost an all-X detection", trial)
+		}
+	}
+}
+
+// Property: batch packing is irrelevant — restricting to any single
+// fault must agree with the full run (exercises slot assignment).
+func TestPropertySingleFaultAgreesWithBatch(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(14))
+	seq := randomSeq(r, c.NumPIs(), 10)
+	si := randomSeq(r, c.NumFFs(), 1)[0]
+	full := s.DetectTest(si, seq, nil)
+	for fi := range faults {
+		single := s.DetectTest(si, seq, fault.FromIndices(len(faults), []int{fi}))
+		if single.Has(fi) != full.Has(fi) {
+			t.Fatalf("fault %s: single-fault run disagrees with batch", faults[fi].String(c))
+		}
+	}
+}

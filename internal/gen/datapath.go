@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// generateDatapath builds a register-transfer style circuit: the
+// flip-flops are grouped into words of 4 bits, and each word's next
+// value is a 2:1 mux between two operations on the register file —
+// shift-by-one of a source word, bitwise XOR of two words, or a bitwise
+// AND with a primary input (the reset path, which keeps the file
+// initializable from all-X). Control inputs select the mux legs; status
+// outputs expose word parities; leftover logic folds into an observer
+// output so no gate is unobservable.
+func generateDatapath(p Params) (*circuit.Circuit, error) {
+	r := rand.New(rand.NewSource(p.Seed))
+	b := circuit.NewBuilder(p.Name)
+
+	for i := 0; i < p.PIs; i++ {
+		b.Input(fmt.Sprintf("pi%d", i))
+	}
+	pi := func(i int) string { return fmt.Sprintf("pi%d", i%p.PIs) }
+
+	const word = 4
+	nWords := (p.FFs + word - 1) / word
+	if p.FFs == 0 {
+		nWords = 0
+	}
+	bitsOf := make([][]string, nWords)
+	ffIdx := 0
+	for w := 0; w < nWords && ffIdx < p.FFs; w++ {
+		for k := 0; k < word && ffIdx < p.FFs; k++ {
+			bitsOf[w] = append(bitsOf[w], fmt.Sprintf("ff%d", ffIdx))
+			ffIdx++
+		}
+	}
+
+	gate := 0
+	consumed := map[string]bool{}
+	newGate := func(kind circuit.Kind, ins ...string) string {
+		n := fmt.Sprintf("g%d", gate)
+		gate++
+		b.Gate(n, kind, ins...)
+		for _, in := range ins {
+			consumed[in] = true
+		}
+		return n
+	}
+
+	// Per-word update: next = sel ? opA : opB, bit by bit.
+	for w := 0; w < nWords; w++ {
+		bits := bitsOf[w]
+		src1 := bitsOf[r.Intn(nWords)]
+		src2 := bitsOf[r.Intn(nWords)]
+		sel := pi(r.Intn(p.PIs))
+		nsel := newGate(circuit.Not, sel)
+		for k, q := range bits {
+			// opA: shift of src1; bit 0 takes a serial input from the PIs.
+			var opA string
+			if k == 0 {
+				opA = pi(w)
+			} else {
+				opA = src1[(k-1)%len(src1)]
+			}
+			// opB alternates between a PI-masked AND (the reset path)
+			// and XOR of two register bits.
+			var opB string
+			if k%2 == 0 {
+				opB = newGate(circuit.And, src2[k%len(src2)], pi(w+k))
+			} else {
+				opB = newGate(circuit.Xor, src1[k%len(src1)], src2[k%len(src2)])
+			}
+			tA := newGate(circuit.And, sel, opA)
+			tB := newGate(circuit.And, nsel, opB)
+			d := newGate(circuit.Or, tA, tB)
+			b.DFF(q, d)
+			consumed[d] = true
+		}
+	}
+
+	// Fill to the requested gate budget with random control logic over
+	// the register file and inputs (adds depth and reconvergence).
+	pool := make([]string, 0, p.PIs+p.FFs+p.Gates)
+	for i := 0; i < p.PIs; i++ {
+		pool = append(pool, pi(i))
+	}
+	for _, bits := range bitsOf {
+		pool = append(pool, bits...)
+	}
+	kinds := []circuit.Kind{circuit.And, circuit.Or, circuit.Nand, circuit.Nor, circuit.Xor, circuit.Not}
+	for gate < p.Gates {
+		kind := kinds[r.Intn(len(kinds))]
+		var g string
+		if kind == circuit.Not {
+			g = newGate(kind, pool[r.Intn(len(pool))])
+		} else {
+			a := pool[r.Intn(len(pool))]
+			c2 := pool[r.Intn(len(pool))]
+			if a == c2 {
+				c2 = pi(r.Intn(p.PIs))
+			}
+			g = newGate(kind, a, c2)
+		}
+		pool = append(pool, g)
+	}
+
+	// Outputs: status parities over words first, then buffered fill logic.
+	emitted := 0
+	for w := 0; w < nWords && emitted < p.POs; w++ {
+		cur := bitsOf[w][0]
+		for _, q := range bitsOf[w][1:] {
+			cur = newGate(circuit.Xor, cur, q)
+		}
+		out := fmt.Sprintf("status%d", w)
+		b.Gate(out, circuit.Buf, cur)
+		consumed[cur] = true
+		b.Output(out)
+		emitted++
+	}
+	for i := 0; emitted < p.POs; i++ {
+		src := pi(i)
+		// Prefer an unconsumed fill gate.
+		for j := gate - 1; j >= 0; j-- {
+			n := fmt.Sprintf("g%d", j)
+			if !consumed[n] {
+				src = n
+				break
+			}
+		}
+		out := fmt.Sprintf("po%d", emitted)
+		b.Gate(out, circuit.Buf, src)
+		consumed[src] = true
+		b.Output(out)
+		emitted++
+	}
+
+	// XOR-fold any still-dangling gates into one observer output.
+	var dangling []string
+	for j := 0; j < gate; j++ {
+		n := fmt.Sprintf("g%d", j)
+		if !consumed[n] {
+			dangling = append(dangling, n)
+		}
+	}
+	if len(dangling) > 0 {
+		cur := dangling[0]
+		for k, obs := 1, 0; k < len(dangling); k, obs = k+1, obs+1 {
+			n := fmt.Sprintf("obs%d", obs)
+			b.Gate(n, circuit.Xor, cur, dangling[k])
+			cur = n
+		}
+		b.Output(cur)
+	}
+	return b.Build()
+}

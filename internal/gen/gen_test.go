@@ -1,0 +1,280 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+)
+
+func small() Params {
+	return Params{Name: "t", Seed: 42, PIs: 4, POs: 3, FFs: 6, Gates: 60}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	c, err := Generate(small())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	s := c.Stats()
+	if s.PIs != 4 || s.FFs != 6 {
+		t.Errorf("stats = %+v", s)
+	}
+	// POs may gain one observer output; gates may gain observer XORs.
+	if s.POs < 3 || s.POs > 4 {
+		t.Errorf("POs = %d, want 3 or 4", s.POs)
+	}
+	if s.Gates < 60 {
+		t.Errorf("gates = %d, want >= 60", s.Gates)
+	}
+	if s.Depth < 3 {
+		t.Errorf("depth = %d, too shallow to be interesting", s.Depth)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(small())
+	b := MustGenerate(small())
+	if bench.WriteString(a) != bench.WriteString(b) {
+		t.Error("same params must generate identical circuits")
+	}
+	p2 := small()
+	p2.Seed = 43
+	c := MustGenerate(p2)
+	if bench.WriteString(a) == bench.WriteString(c) {
+		t.Error("different seeds should generate different circuits")
+	}
+}
+
+func TestGenerateNoDanglingGates(t *testing.T) {
+	c := MustGenerate(small())
+	poSet := make(map[int]bool)
+	for _, p := range c.POs {
+		poSet[p] = true
+	}
+	for n := range c.Nodes {
+		if !c.Nodes[n].Kind.IsGate() {
+			continue
+		}
+		if len(c.Fanout(n)) == 0 && !poSet[n] {
+			t.Errorf("gate %s is unobservable (no fanout, not a PO)", c.Nodes[n].Name)
+		}
+	}
+}
+
+func TestGenerateRoundTripsThroughBench(t *testing.T) {
+	c := MustGenerate(small())
+	back, err := bench.ParseString(c.Name, bench.WriteString(c))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.NumNodes() != c.NumNodes() {
+		t.Error("bench round trip changed the circuit")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Params{
+		{Name: "", PIs: 1, POs: 1, Gates: 2},
+		{Name: "x", PIs: 0, POs: 1, Gates: 2},
+		{Name: "x", PIs: 1, POs: 0, Gates: 2},
+		{Name: "x", PIs: 1, POs: 1, FFs: -1, Gates: 2},
+		{Name: "x", PIs: 1, POs: 5, Gates: 2},
+		{Name: "x", PIs: 1, POs: 1, Gates: 2, MaxFanin: 1},
+	}
+	for i, p := range cases {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, p)
+		}
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate should panic on bad params")
+		}
+	}()
+	MustGenerate(Params{})
+}
+
+func TestGeneratedCircuitIsTestable(t *testing.T) {
+	// The generator's purpose: circuits whose faults are mostly
+	// detectable by random scan tests. Require >50% random-test coverage
+	// on a mid-size instance.
+	c := MustGenerate(Params{Name: "t", Seed: 7, PIs: 6, POs: 4, FFs: 10, Gates: 120})
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	r := rand.New(rand.NewSource(1))
+	detected := fault.NewSet(len(faults))
+	for trial := 0; trial < 40; trial++ {
+		si := randVec(r, c.NumFFs())
+		seq := logic.Sequence{randVec(r, c.NumPIs()), randVec(r, c.NumPIs())}
+		detected.UnionWith(s.DetectTest(si, seq, nil))
+	}
+	cov := fsim.Coverage(detected, len(faults))
+	if cov < 0.5 {
+		t.Errorf("random scan coverage = %.2f, want >= 0.5 (%d/%d)", cov, detected.Count(), len(faults))
+	}
+}
+
+func TestGeneratedStateIsControllable(t *testing.T) {
+	// Random input sequences from the all-zero state should initialize
+	// flip-flop values and move the state around: at least half the FFs
+	// must change value at some point over a random run.
+	c := MustGenerate(Params{Name: "t", Seed: 7, PIs: 6, POs: 4, FFs: 10, Gates: 120})
+	r := rand.New(rand.NewSource(2))
+	seq := make(logic.Sequence, 50)
+	for i := range seq {
+		seq[i] = randVec(r, c.NumPIs())
+	}
+	changed := make([]bool, c.NumFFs())
+	eng := fsim.New(c, nil)
+	tr := eng.GoodTrace(logic.NewVector(c.NumFFs(), logic.Zero), seq)
+	for _, st := range tr.States {
+		for i, v := range st {
+			if v == logic.One {
+				changed[i] = true
+			}
+		}
+	}
+	n := 0
+	for _, ch := range changed {
+		if ch {
+			n++
+		}
+	}
+	if n < c.NumFFs()/2 {
+		t.Errorf("only %d/%d FFs ever left 0; state space too dead", n, c.NumFFs())
+	}
+}
+
+func TestRoster(t *testing.T) {
+	entries := Roster()
+	if len(entries) != 19 {
+		t.Fatalf("roster has %d entries, want 19", len(entries))
+	}
+	names := RosterNames()
+	if names[0] != "s298" || names[len(names)-1] != "b11" {
+		t.Errorf("roster order wrong: %v", names)
+	}
+	for _, e := range entries {
+		if e.Scale == 1 && e.Params.FFs != e.PaperFFs {
+			t.Errorf("%s: unscaled entry FF=%d != paper %d", e.Params.Name, e.Params.FFs, e.PaperFFs)
+		}
+		if e.Scale > 1 && e.Params.FFs >= e.PaperFFs {
+			t.Errorf("%s: scaled entry should shrink FFs", e.Params.Name)
+		}
+	}
+}
+
+func TestRosterCircuitGenerates(t *testing.T) {
+	c, ok := RosterCircuit("s298")
+	if !ok {
+		t.Fatal("s298 missing from roster")
+	}
+	if c.NumFFs() != 14 {
+		t.Errorf("s298 substitute FFs = %d, want 14", c.NumFFs())
+	}
+	if _, ok := RosterCircuit("nonesuch"); ok {
+		t.Error("unknown roster name should return false")
+	}
+}
+
+// TestRosterAllGeneratable builds every roster circuit (including the
+// large ones) and validates structural sanity.
+func TestRosterAllGeneratable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full roster generation in -short mode")
+	}
+	for _, e := range Roster() {
+		c, err := Generate(e.Params)
+		if err != nil {
+			t.Errorf("%s: %v", e.Params.Name, err)
+			continue
+		}
+		if c.NumFFs() != e.Params.FFs {
+			t.Errorf("%s: FF count %d != %d", e.Params.Name, c.NumFFs(), e.Params.FFs)
+		}
+	}
+}
+
+func randVec(r *rand.Rand, n int) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := range v {
+		v[i] = logic.Value(r.Intn(2))
+	}
+	return v
+}
+
+func TestGenerateDatapathShape(t *testing.T) {
+	p := Params{Name: "dp", Seed: 11, Style: Datapath, PIs: 6, POs: 4, FFs: 16, Gates: 120}
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatalf("datapath generate: %v", err)
+	}
+	s := c.Stats()
+	if s.PIs != 6 || s.FFs != 16 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.POs < 4 {
+		t.Errorf("POs = %d, want >= 4", s.POs)
+	}
+	// No dangling gates.
+	poSet := map[int]bool{}
+	for _, po := range c.POs {
+		poSet[po] = true
+	}
+	for n := range c.Nodes {
+		if c.Nodes[n].Kind.IsGate() && len(c.Fanout(n)) == 0 && !poSet[n] {
+			t.Errorf("dangling gate %s", c.Nodes[n].Name)
+		}
+	}
+}
+
+func TestGenerateDatapathDeterministicAndDistinct(t *testing.T) {
+	p := Params{Name: "dp", Seed: 11, Style: Datapath, PIs: 6, POs: 4, FFs: 16, Gates: 120}
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if bench.WriteString(a) != bench.WriteString(b) {
+		t.Error("datapath generation not deterministic")
+	}
+	ctl := p
+	ctl.Style = Control
+	if bench.WriteString(a) == bench.WriteString(MustGenerate(ctl)) {
+		t.Error("styles should differ structurally")
+	}
+}
+
+func TestGenerateDatapathTestable(t *testing.T) {
+	c := MustGenerate(Params{Name: "dp", Seed: 12, Style: Datapath, PIs: 6, POs: 4, FFs: 16, Gates: 120})
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	r := rand.New(rand.NewSource(1))
+	detected := fault.NewSet(len(faults))
+	for trial := 0; trial < 40; trial++ {
+		si := randVec(r, c.NumFFs())
+		seq := logic.Sequence{randVec(r, c.NumPIs()), randVec(r, c.NumPIs())}
+		detected.UnionWith(s.DetectTest(si, seq, nil))
+	}
+	if cov := fsim.Coverage(detected, len(faults)); cov < 0.5 {
+		t.Errorf("datapath random coverage %.2f too low", cov)
+	}
+	// No-scan initialization must work too (the reset path).
+	noscan := s.Detect(seqgenRandom(c, r, 200), fsim.Options{})
+	if noscan.Count() == 0 {
+		t.Error("datapath circuit detects nothing without scan")
+	}
+}
+
+func seqgenRandom(c *circuit.Circuit, r *rand.Rand, n int) logic.Sequence {
+	seq := make(logic.Sequence, n)
+	for i := range seq {
+		seq[i] = randVec(r, c.NumPIs())
+	}
+	return seq
+}

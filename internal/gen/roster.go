@@ -1,0 +1,72 @@
+package gen
+
+import "repro/internal/circuit"
+
+// RosterEntry describes one synthetic stand-in for a circuit evaluated in
+// the paper. FF counts match the paper's Table 1 except for the two
+// largest designs (s5378, s35932), which are scaled down — with the scale
+// factor recorded — to keep the full experiment run laptop-fast. Gate
+// counts are comparable to (for the larger circuits, scaled below) the
+// real benchmarks.
+type RosterEntry struct {
+	Params Params
+	// PaperFFs is the flip-flop count of the genuine benchmark (Table 1's
+	// "ff" column); Params.FFs may be smaller for scaled entries.
+	PaperFFs int
+	// Scale records the down-scaling applied to the substitute (1 = true
+	// to the paper's FF count).
+	Scale int
+}
+
+// Roster returns the synthetic substitutes for all 19 circuits of the
+// paper's Tables 1-5, in the paper's order.
+func Roster() []RosterEntry {
+	mk := func(name string, seed int64, pi, po, ff, gates, paperFF, scale int) RosterEntry {
+		return RosterEntry{
+			Params:   Params{Name: name, Seed: seed, PIs: pi, POs: po, FFs: ff, Gates: gates},
+			PaperFFs: paperFF,
+			Scale:    scale,
+		}
+	}
+	return []RosterEntry{
+		mk("s298", 298, 3, 6, 14, 119, 14, 1),
+		mk("s344", 344, 9, 11, 15, 160, 15, 1),
+		mk("s382", 382, 3, 6, 21, 158, 21, 1),
+		mk("s400", 400, 3, 6, 21, 162, 21, 1),
+		mk("s526", 526, 3, 6, 21, 193, 21, 1),
+		mk("s641", 641, 35, 24, 19, 200, 19, 1),
+		mk("s820", 820, 18, 19, 5, 250, 5, 1),
+		mk("s1423", 1423, 17, 5, 74, 500, 74, 1),
+		mk("s1488", 1488, 8, 19, 6, 480, 6, 1),
+		mk("s5378", 5378, 35, 49, 90, 600, 179, 2),
+		mk("s35932", 35932, 35, 64, 432, 900, 1728, 4),
+		mk("b01", 9001, 2, 2, 5, 45, 5, 1),
+		mk("b02", 9002, 1, 1, 4, 25, 4, 1),
+		mk("b03", 9003, 4, 4, 30, 150, 30, 1),
+		mk("b04", 9004, 11, 8, 66, 400, 66, 1),
+		mk("b06", 9006, 2, 6, 9, 55, 9, 1),
+		mk("b09", 9009, 1, 1, 28, 160, 28, 1),
+		mk("b10", 9010, 11, 6, 17, 180, 17, 1),
+		mk("b11", 9011, 7, 6, 30, 350, 30, 1),
+	}
+}
+
+// RosterCircuit generates the substitute for the named roster entry.
+func RosterCircuit(name string) (*circuit.Circuit, bool) {
+	for _, e := range Roster() {
+		if e.Params.Name == name {
+			return MustGenerate(e.Params), true
+		}
+	}
+	return nil, false
+}
+
+// RosterNames lists roster circuit names in the paper's order.
+func RosterNames() []string {
+	entries := Roster()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Params.Name
+	}
+	return names
+}

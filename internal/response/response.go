@@ -1,0 +1,153 @@
+// Package response computes the expected (fault-free) tester responses
+// of a scan test set: the primary-output vector observed at every
+// functional cycle and the scan-out vector shifted out after the last
+// cycle. These are the SO_i values of the paper's test notation
+// τ_i = (SI_i, T_i, SO_i) — recomputable from the netlist, so the rest
+// of the repository stores tests without them; this package materializes
+// them for export to a tester or for diagnosis.
+package response
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// TestResponse is the fault-free response of one scan test.
+type TestResponse struct {
+	// POs[u] is the primary-output vector observed while the u-th
+	// at-speed vector is applied.
+	POs []logic.Vector
+	// ScanOut is the flip-flop state shifted out after the final
+	// functional cycle, in chain order (all flip-flops under full scan).
+	ScanOut logic.Vector
+}
+
+// Compute returns the fault-free response of one test under the given
+// chain (nil = full scan).
+func Compute(c *circuit.Circuit, ch *scan.Chain, t scan.Test) TestResponse {
+	eng := sim.New(c)
+	loadScanIn(eng, c, ch, t.SI)
+	resp := TestResponse{POs: make([]logic.Vector, 0, t.Len())}
+	for _, v := range t.Seq {
+		eng.SetPIVector(v)
+		eng.EvalComb()
+		po := make(logic.Vector, c.NumPOs())
+		for i := range c.POs {
+			po[i] = eng.PO(i).Get(0)
+		}
+		resp.POs = append(resp.POs, po)
+		eng.ClockFF()
+	}
+	if ch == nil {
+		resp.ScanOut = make(logic.Vector, c.NumFFs())
+		for i := 0; i < c.NumFFs(); i++ {
+			resp.ScanOut[i] = eng.State(i).Get(0)
+		}
+	} else {
+		resp.ScanOut = make(logic.Vector, ch.Nsv())
+		for k, ff := range ch.FFs {
+			resp.ScanOut[k] = eng.State(ff).Get(0)
+		}
+	}
+	return resp
+}
+
+// ForSet computes the responses of every test in ts.
+func ForSet(c *circuit.Circuit, ch *scan.Chain, ts *scan.Set) []TestResponse {
+	out := make([]TestResponse, len(ts.Tests))
+	for i, t := range ts.Tests {
+		out[i] = Compute(c, ch, t)
+	}
+	return out
+}
+
+func loadScanIn(eng *sim.Engine, c *circuit.Circuit, ch *scan.Chain, si logic.Vector) {
+	if ch == nil {
+		full := logic.NewVector(c.NumFFs(), logic.X)
+		copy(full, si)
+		eng.SetStateVector(full)
+		return
+	}
+	eng.SetStateVector(logic.NewVector(c.NumFFs(), logic.X))
+	for k, ff := range ch.FFs {
+		v := logic.X
+		if k < len(si) {
+			v = si[k]
+		}
+		eng.SetState(ff, logic.FromValue(v))
+	}
+}
+
+// Write emits test set and responses in a tester-oriented text format:
+//
+//	response v1
+//	test
+//	si 0101
+//	in 10 -> po 011
+//	in 11 -> po 001
+//	so 0110
+//	end
+func Write(w io.Writer, ts *scan.Set, resps []TestResponse) error {
+	if len(ts.Tests) != len(resps) {
+		return fmt.Errorf("response: %d tests but %d responses", len(ts.Tests), len(resps))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "response v1")
+	for i, t := range ts.Tests {
+		fmt.Fprintln(bw, "test")
+		fmt.Fprintf(bw, "si %s\n", t.SI)
+		for u, v := range t.Seq {
+			fmt.Fprintf(bw, "in %s -> po %s\n", v, resps[i].POs[u])
+		}
+		fmt.Fprintf(bw, "so %s\n", resps[i].ScanOut)
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// WriteString renders the responses to a string.
+func WriteString(ts *scan.Set, resps []TestResponse) string {
+	var sb strings.Builder
+	if err := Write(&sb, ts, resps); err != nil {
+		panic(err) // only the length mismatch can fail, and callers pair them
+	}
+	return sb.String()
+}
+
+// FailSignature compares an observed response against the expected one
+// and reports whether they mismatch on any definite expected value
+// (X expectations match anything — an unknown good value cannot fail).
+func FailSignature(expected, observed TestResponse) bool {
+	for u := range expected.POs {
+		if u >= len(observed.POs) {
+			return true
+		}
+		if mismatch(expected.POs[u], observed.POs[u]) {
+			return true
+		}
+	}
+	return mismatch(expected.ScanOut, observed.ScanOut)
+}
+
+func mismatch(exp, obs logic.Vector) bool {
+	for i, e := range exp {
+		if !e.IsBinary() {
+			continue
+		}
+		if i >= len(obs) {
+			return true
+		}
+		o := obs[i]
+		if o.IsBinary() && o != e {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package response
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/samples"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+func vec(s string) logic.Vector {
+	v, err := logic.ParseVector(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestComputeMatchesTrace(t *testing.T) {
+	c := samples.S27()
+	tst := scan.Test{SI: vec("010"), Seq: logic.Sequence{vec("1010"), vec("0001"), vec("1111")}}
+	resp := Compute(c, nil, tst)
+	tr := sim.RunSequence(c, tst.SI, tst.Seq)
+	if len(resp.POs) != 3 {
+		t.Fatalf("PO cycles = %d", len(resp.POs))
+	}
+	for u := range resp.POs {
+		if !resp.POs[u].Equal(tr.POs[u]) {
+			t.Errorf("cycle %d PO mismatch: %s vs %s", u, resp.POs[u], tr.POs[u])
+		}
+	}
+	if !resp.ScanOut.Equal(tr.Final()) {
+		t.Errorf("scan-out %s != trace final %s", resp.ScanOut, tr.Final())
+	}
+}
+
+func TestComputePartialChainScanOut(t *testing.T) {
+	c := samples.ShiftReg(3)
+	ch, err := scan.NewChain(3, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SI "10": q2=1, q0=0, q1=X. One cycle with si=1: q0<-1, q1<-q0=0, q2<-q1=X.
+	tst := scan.Test{SI: vec("10"), Seq: logic.Sequence{vec("1")}}
+	resp := Compute(c, ch, tst)
+	if len(resp.ScanOut) != 2 {
+		t.Fatalf("scan-out width %d, want 2", len(resp.ScanOut))
+	}
+	// Chain order: position 0 = q2 (now X), position 1 = q0 (now 1).
+	if resp.ScanOut[0] != logic.X || resp.ScanOut[1] != logic.One {
+		t.Errorf("scan-out = %s, want x1", resp.ScanOut)
+	}
+}
+
+func TestForSetAndWrite(t *testing.T) {
+	c := samples.S27()
+	ts := scan.NewSet(
+		scan.Test{SI: vec("000"), Seq: logic.Sequence{vec("0000")}},
+		scan.Test{SI: vec("111"), Seq: logic.Sequence{vec("1111"), vec("0000")}},
+	)
+	resps := ForSet(c, nil, ts)
+	if len(resps) != 2 {
+		t.Fatal("ForSet count wrong")
+	}
+	out := WriteString(ts, resps)
+	for _, want := range []string{"response v1", "si 000", "-> po", "so "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One "in ... -> po ..." line per functional cycle.
+	if got := strings.Count(out, "-> po"); got != 3 {
+		t.Errorf("%d po lines, want 3", got)
+	}
+}
+
+func TestWriteLengthMismatch(t *testing.T) {
+	c := samples.S27()
+	ts := scan.NewSet(scan.Test{SI: vec("000"), Seq: logic.Sequence{vec("0000")}})
+	err := Write(&strings.Builder{}, ts, nil)
+	if err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+	_ = c
+}
+
+func TestFailSignature(t *testing.T) {
+	exp := TestResponse{
+		POs:     []logic.Vector{vec("01"), vec("1x")},
+		ScanOut: vec("10x"),
+	}
+	// Identical observation: pass.
+	if FailSignature(exp, exp) {
+		t.Error("identical responses must pass")
+	}
+	// X expectations match anything.
+	obs := TestResponse{POs: []logic.Vector{vec("01"), vec("11")}, ScanOut: vec("101")}
+	if FailSignature(exp, obs) {
+		t.Error("X expectation must match any observation")
+	}
+	// Definite mismatch in a PO.
+	obs2 := TestResponse{POs: []logic.Vector{vec("00"), vec("1x")}, ScanOut: vec("10x")}
+	if !FailSignature(exp, obs2) {
+		t.Error("PO mismatch must fail")
+	}
+	// Definite mismatch at scan-out.
+	obs3 := TestResponse{POs: []logic.Vector{vec("01"), vec("1x")}, ScanOut: vec("00x")}
+	if !FailSignature(exp, obs3) {
+		t.Error("scan-out mismatch must fail")
+	}
+	// Truncated observation fails.
+	obs4 := TestResponse{POs: []logic.Vector{vec("01")}, ScanOut: vec("10x")}
+	if !FailSignature(exp, obs4) {
+		t.Error("missing cycles must fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Package restore implements vector-restoration static compaction of
+// test sequences (Pomeranz & Reddy, "Vector Restoration Based Static
+// Compaction of Test Sequences for Synchronous Sequential Circuits",
+// ICCD 1997 — the paper's reference [11], used to condition the
+// sequences coming out of the sequential test generators).
+//
+// Where omission (package vecomit) starts from the full sequence and
+// deletes vectors, restoration starts from the *empty* sequence and adds
+// vectors back: faults are processed in order of decreasing detection
+// time; for each fault still undetected by the restored subsequence,
+// vectors are restored backwards from the fault's original detection
+// time until the fault is detected again. Restoration tends to win on
+// sequences with large useless middles, omission on locally padded ones;
+// both preserve the detected fault set exactly.
+//
+// The model here is the no-scan setting of [11]: sequences start from
+// the all-X state and detection is at primary outputs.
+package restore
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+)
+
+// Options tunes the restoration loop.
+type Options struct {
+	// MaxRestorePerFault bounds how many vectors may be restored while
+	// chasing one fault before falling back to restoring its full
+	// original prefix (0 = no bound). The bound exists to cap worst-case
+	// time on pathological state drift; the fallback keeps correctness.
+	MaxRestorePerFault int
+}
+
+// Stats describes one run.
+type Stats struct {
+	Kept   int // vectors in the restored sequence
+	Checks int // fault-simulation checks
+}
+
+// Compact returns the restored subsequence of seq that still detects
+// every fault in keep (at primary outputs, from the all-X state). keep
+// must be detected by seq on entry.
+func Compact(s *fsim.Simulator, seq logic.Sequence, keep *fault.Set, opt Options) (logic.Sequence, Stats) {
+	var st Stats
+	if keep == nil || keep.Count() == 0 || len(seq) == 0 {
+		return logic.Sequence{}, st
+	}
+
+	// Detection times from one profiling pass.
+	prof := s.Profile(nil, seq, keep)
+	type ft struct{ f, t int }
+	var order []ft
+	keep.ForEach(func(f int) {
+		if t := prof.PODetectTime(f); t >= 0 {
+			order = append(order, ft{f, t})
+		}
+	})
+	// Latest detection first; ties by fault index for determinism.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].t != order[j].t {
+			return order[i].t > order[j].t
+		}
+		return order[i].f < order[j].f
+	})
+
+	restored := make([]bool, len(seq))
+	covered := fault.NewSet(keep.Len())
+	var cur logic.Sequence
+
+	rebuild := func() {
+		cur = cur[:0]
+		for p, on := range restored {
+			if on {
+				cur = append(cur, seq[p])
+			}
+		}
+	}
+
+	for _, e := range order {
+		if covered.Has(e.f) {
+			continue
+		}
+		target := fault.FromIndices(keep.Len(), []int{e.f})
+		// Restore from the original detection time backwards until the
+		// restored subsequence detects the fault again.
+		added := 0
+		for p := e.t; p >= 0; p-- {
+			if !restored[p] {
+				restored[p] = true
+				added++
+			}
+			rebuild()
+			st.Checks++
+			if s.Detect(cur, fsim.Options{Targets: target}).Has(e.f) {
+				break
+			}
+			if opt.MaxRestorePerFault > 0 && added >= opt.MaxRestorePerFault {
+				// Fall back: restore the whole original prefix, which is
+				// guaranteed to detect the fault.
+				for q := 0; q <= e.t; q++ {
+					restored[q] = true
+				}
+				rebuild()
+				break
+			}
+		}
+		// Credit everything the current restored sequence detects.
+		st.Checks++
+		covered.UnionWith(s.Detect(cur, fsim.Options{Targets: keep}))
+	}
+	rebuild()
+	st.Kept = len(cur)
+	return cur.Clone(), st
+}

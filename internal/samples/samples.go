@@ -1,0 +1,101 @@
+// Package samples provides small, hand-written circuits used by tests
+// and examples throughout the repository.
+package samples
+
+import "repro/internal/circuit"
+
+// S27 returns the ISCAS-89 s27 benchmark circuit: 4 PIs, 1 PO, 3 DFFs,
+// 10 gates. It is small enough to verify simulators by hand and real
+// enough to exercise every code path (reconvergence, feedback through
+// flip-flops, inverting gates).
+func S27() *circuit.Circuit {
+	b := circuit.NewBuilder("s27")
+	b.Input("G0")
+	b.Input("G1")
+	b.Input("G2")
+	b.Input("G3")
+	b.Output("G17")
+	b.DFF("G5", "G10")
+	b.DFF("G6", "G11")
+	b.DFF("G7", "G13")
+	b.Gate("G14", circuit.Not, "G0")
+	b.Gate("G17", circuit.Not, "G11")
+	b.Gate("G8", circuit.And, "G14", "G6")
+	b.Gate("G15", circuit.Or, "G12", "G8")
+	b.Gate("G16", circuit.Or, "G3", "G8")
+	b.Gate("G9", circuit.Nand, "G16", "G15")
+	b.Gate("G10", circuit.Nor, "G14", "G11")
+	b.Gate("G11", circuit.Nor, "G5", "G9")
+	b.Gate("G12", circuit.Nor, "G1", "G7")
+	b.Gate("G13", circuit.Nor, "G2", "G12")
+	return b.MustBuild()
+}
+
+// Comb4 returns a small purely combinational circuit: a 2:1 mux plus an
+// XOR cone. 4 PIs (a, b, sel, c), 2 POs (y, p), no flip-flops.
+//
+//	y = (a AND NOT sel) OR (b AND sel)
+//	p = y XOR c
+func Comb4() *circuit.Circuit {
+	b := circuit.NewBuilder("comb4")
+	b.Input("a")
+	b.Input("b")
+	b.Input("sel")
+	b.Input("c")
+	b.Output("y")
+	b.Output("p")
+	b.Gate("nsel", circuit.Not, "sel")
+	b.Gate("t0", circuit.And, "a", "nsel")
+	b.Gate("t1", circuit.And, "b", "sel")
+	b.Gate("y", circuit.Or, "t0", "t1")
+	b.Gate("p", circuit.Xor, "y", "c")
+	return b.MustBuild()
+}
+
+// Toggle returns the smallest interesting sequential circuit: a single
+// flip-flop that toggles when enable is 1 and holds otherwise, with the
+// state visible on the output.
+//
+//	q' = q XOR en ;  out = q
+func Toggle() *circuit.Circuit {
+	b := circuit.NewBuilder("toggle")
+	b.Input("en")
+	b.Output("out")
+	b.DFF("q", "d")
+	b.Gate("d", circuit.Xor, "q", "en")
+	b.Gate("out", circuit.Buf, "q")
+	return b.MustBuild()
+}
+
+// ShiftReg returns an n-bit shift register with serial input "si", all
+// bits observable through a parity output. Used to test sequential fault
+// propagation across multiple time frames.
+func ShiftReg(n int) *circuit.Circuit {
+	b := circuit.NewBuilder("shiftreg")
+	b.Input("si")
+	b.Output("par")
+	prev := "si"
+	var bitsig string
+	for i := 0; i < n; i++ {
+		q := name("q", i)
+		b.DFF(q, prev)
+		if i == 0 {
+			bitsig = q
+		} else {
+			x := name("x", i)
+			b.Gate(x, circuit.Xor, bitsig, q)
+			bitsig = x
+		}
+		prev = q
+	}
+	b.Gate("par", circuit.Buf, bitsig)
+	return b.MustBuild()
+}
+
+func name(prefix string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return prefix + digits[i:i+1]
+	}
+	return prefix + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}

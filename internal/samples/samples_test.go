@@ -1,0 +1,45 @@
+package samples
+
+import "testing"
+
+func TestS27Shape(t *testing.T) {
+	s := S27().Stats()
+	if s.PIs != 4 || s.POs != 1 || s.FFs != 3 || s.Gates != 10 {
+		t.Errorf("s27 stats = %+v", s)
+	}
+}
+
+func TestComb4Shape(t *testing.T) {
+	c := Comb4()
+	if c.NumFFs() != 0 {
+		t.Error("comb4 must be combinational")
+	}
+	if c.NumPIs() != 4 || c.NumPOs() != 2 {
+		t.Errorf("comb4 interface: %s", c.Stats())
+	}
+}
+
+func TestToggleShape(t *testing.T) {
+	c := Toggle()
+	if c.NumFFs() != 1 || c.NumPIs() != 1 || c.NumPOs() != 1 {
+		t.Errorf("toggle: %s", c.Stats())
+	}
+}
+
+func TestShiftRegSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 15} {
+		c := ShiftReg(n)
+		if c.NumFFs() != n {
+			t.Errorf("ShiftReg(%d) has %d FFs", n, c.NumFFs())
+		}
+		if c.NumPOs() != 1 {
+			t.Errorf("ShiftReg(%d) has %d POs", n, c.NumPOs())
+		}
+	}
+}
+
+func TestNameHelper(t *testing.T) {
+	if name("q", 3) != "q3" || name("q", 12) != "q12" {
+		t.Errorf("name helper wrong: %s %s", name("q", 3), name("q", 12))
+	}
+}

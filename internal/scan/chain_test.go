@@ -1,0 +1,63 @@
+package scan
+
+import "testing"
+
+func TestFullChain(t *testing.T) {
+	ch := FullChain(4)
+	if ch.Nsv() != 4 {
+		t.Fatalf("Nsv = %d", ch.Nsv())
+	}
+	for i := 0; i < 4; i++ {
+		if !ch.Has(i) || ch.FFs[i] != i {
+			t.Errorf("position %d wrong", i)
+		}
+	}
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(3, []int{0, 2}); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	if _, err := NewChain(3, []int{0, 3}); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, err := NewChain(3, []int{-1}); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := NewChain(3, []int{1, 1}); err == nil {
+		t.Error("duplicate position accepted")
+	}
+}
+
+func TestNewChainCopiesInput(t *testing.T) {
+	src := []int{2, 0}
+	ch, err := NewChain(3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 1
+	if ch.FFs[0] != 2 {
+		t.Error("NewChain aliases caller slice")
+	}
+}
+
+func TestChainSortedAndHas(t *testing.T) {
+	ch, _ := NewChain(5, []int{4, 0, 2})
+	got := ch.Sorted()
+	want := []int{0, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v", got)
+		}
+	}
+	// Sorted must not reorder the chain itself.
+	if ch.FFs[0] != 4 {
+		t.Error("Sorted mutated chain order")
+	}
+	if ch.Has(1) || !ch.Has(4) {
+		t.Error("Has wrong")
+	}
+	if ch.String() != "chain(3 FFs)" {
+		t.Errorf("String = %q", ch.String())
+	}
+}

@@ -1,0 +1,54 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSet checks the test-set parser never panics and that accepted
+// inputs survive a write/re-parse round trip.
+func FuzzReadSet(f *testing.F) {
+	f.Add("testset v1\ntest\nsi 0101\nin 10\nin 11\nend\n")
+	f.Add("testset v1\n")
+	f.Add("testset v1\ntest\nsi x\nend\n")
+	f.Add("# comment\ntestset v1\ntest\nsi 0\nin 1\nend\ntest\nsi 1\nend\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ReadSet(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		out := WriteSetString(s)
+		back, err := ReadSet(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+		if back.NumTests() != s.NumTests() || back.TotalVectors() != s.TotalVectors() {
+			t.Fatalf("round trip changed shape: %s vs %s", s, back)
+		}
+	})
+}
+
+// FuzzReadSequence checks the sequence parser similarly.
+func FuzzReadSequence(f *testing.F) {
+	f.Add("01\n10\nxx\n")
+	f.Add("# only comments\n")
+	f.Add("0\n\n1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		seq, err := ReadSequence(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteSequence(&sb, seq); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSequence(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(seq) {
+			t.Fatalf("length changed: %d -> %d", len(seq), len(back))
+		}
+	})
+}

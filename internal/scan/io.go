@@ -1,0 +1,149 @@
+package scan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// The test-set text format:
+//
+//	testset v1
+//	test
+//	si 0101
+//	in 10
+//	in 11
+//	end
+//
+// One "test" block per scan test; "si" carries the scan-in vector, each
+// "in" one primary-input vector in application order.
+
+// WriteSet emits a test set in the text format.
+func WriteSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "testset v1")
+	for _, t := range s.Tests {
+		fmt.Fprintln(bw, "test")
+		fmt.Fprintf(bw, "si %s\n", t.SI)
+		for _, v := range t.Seq {
+			fmt.Fprintf(bw, "in %s\n", v)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// WriteSetString renders a test set to a string.
+func WriteSetString(s *Set) string {
+	var sb strings.Builder
+	if err := WriteSet(&sb, s); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}
+
+// ReadSet parses a test set from the text format.
+func ReadSet(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	line, ok := next()
+	if !ok || line != "testset v1" {
+		return nil, fmt.Errorf("scan: missing 'testset v1' header (line %d)", lineno)
+	}
+	out := NewSet()
+	for {
+		line, ok = next()
+		if !ok {
+			break
+		}
+		if line != "test" {
+			return nil, fmt.Errorf("scan: line %d: expected 'test', got %q", lineno, line)
+		}
+		var t Test
+		sawSI := false
+		for {
+			line, ok = next()
+			if !ok {
+				return nil, fmt.Errorf("scan: unexpected EOF inside test block")
+			}
+			switch {
+			case line == "end":
+				if !sawSI {
+					return nil, fmt.Errorf("scan: line %d: test block without si", lineno)
+				}
+				out.Tests = append(out.Tests, t)
+			case strings.HasPrefix(line, "si "):
+				v, err := logic.ParseVector(strings.TrimSpace(line[3:]))
+				if err != nil {
+					return nil, fmt.Errorf("scan: line %d: %v", lineno, err)
+				}
+				t.SI = v
+				sawSI = true
+			case strings.HasPrefix(line, "in "):
+				v, err := logic.ParseVector(strings.TrimSpace(line[3:]))
+				if err != nil {
+					return nil, fmt.Errorf("scan: line %d: %v", lineno, err)
+				}
+				t.Seq = append(t.Seq, v)
+			default:
+				return nil, fmt.Errorf("scan: line %d: unexpected %q", lineno, line)
+			}
+			if line == "end" {
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan: %v", err)
+	}
+	return out, nil
+}
+
+// WriteSequence emits a bare PI sequence, one vector per line.
+func WriteSequence(w io.Writer, seq logic.Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range seq {
+		fmt.Fprintln(bw, v.String())
+	}
+	return bw.Flush()
+}
+
+// ReadSequence parses a bare PI sequence (one vector per line; blank
+// lines and # comments ignored).
+func ReadSequence(r io.Reader) (logic.Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var seq logic.Sequence
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := logic.ParseVector(line)
+		if err != nil {
+			return nil, fmt.Errorf("scan: line %d: %v", lineno, err)
+		}
+		seq = append(seq, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}

@@ -1,0 +1,95 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestSetRoundTrip(t *testing.T) {
+	s := NewSet(
+		Test{SI: logic.Vector{logic.Zero, logic.One}, Seq: logic.Sequence{
+			{logic.One, logic.Zero, logic.X},
+			{logic.Zero, logic.Zero, logic.One},
+		}},
+		Test{SI: logic.Vector{logic.X, logic.X}, Seq: logic.Sequence{
+			{logic.One, logic.One, logic.One},
+		}},
+	)
+	text := WriteSetString(s)
+	back, err := ReadSet(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ReadSet: %v\n%s", err, text)
+	}
+	if back.NumTests() != 2 || back.TotalVectors() != 3 {
+		t.Fatalf("round trip shape: %s", back)
+	}
+	for i := range s.Tests {
+		if !back.Tests[i].SI.Equal(s.Tests[i].SI) {
+			t.Errorf("test %d SI mismatch", i)
+		}
+		for u := range s.Tests[i].Seq {
+			if !back.Tests[i].Seq[u].Equal(s.Tests[i].Seq[u]) {
+				t.Errorf("test %d vector %d mismatch", i, u)
+			}
+		}
+	}
+}
+
+func TestSetRoundTripEmpty(t *testing.T) {
+	back, err := ReadSet(strings.NewReader(WriteSetString(NewSet())))
+	if err != nil || back.NumTests() != 0 {
+		t.Errorf("empty set round trip: %v, %d tests", err, back.NumTests())
+	}
+}
+
+func TestReadSetErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":     "test\nsi 0\nend\n",
+		"bad header":    "testset v9\n",
+		"junk token":    "testset v1\ntest\nsi 0\nwat\nend\n",
+		"no si":         "testset v1\ntest\nin 1\nend\n",
+		"bad vector":    "testset v1\ntest\nsi 0q\nend\n",
+		"bad in vector": "testset v1\ntest\nsi 0\nin q\nend\n",
+		"eof in block":  "testset v1\ntest\nsi 0\n",
+		"stray line":    "testset v1\nsi 0\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadSet(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSetSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# header comment\ntestset v1\n\ntest\n# inner\nsi 01\nin 1\nend\n"
+	s, err := ReadSet(strings.NewReader(text))
+	if err != nil || s.NumTests() != 1 {
+		t.Errorf("comment handling: %v, %d tests", err, s.NumTests())
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	seq := logic.Sequence{
+		{logic.One, logic.Zero},
+		{logic.X, logic.One},
+	}
+	var sb strings.Builder
+	if err := WriteSequence(&sb, seq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSequence(strings.NewReader("# c\n" + sb.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back[0].Equal(seq[0]) || !back[1].Equal(seq[1]) {
+		t.Errorf("sequence round trip mismatch: %v", back)
+	}
+}
+
+func TestReadSequenceError(t *testing.T) {
+	if _, err := ReadSequence(strings.NewReader("01\nbad!\n")); err == nil {
+		t.Error("invalid vector line must fail")
+	}
+}

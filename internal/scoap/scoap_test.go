@@ -1,0 +1,164 @@
+package scoap
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/samples"
+	"repro/internal/scan"
+)
+
+func TestPrimaryInputsCostOne(t *testing.T) {
+	c := samples.Comb4()
+	m := Compute(c, nil)
+	for _, pi := range c.PIs {
+		if m.CC0[pi] != 1 || m.CC1[pi] != 1 {
+			t.Errorf("PI %s: CC0=%d CC1=%d, want 1/1", c.Nodes[pi].Name, m.CC0[pi], m.CC1[pi])
+		}
+	}
+}
+
+func TestHandComputedAndGate(t *testing.T) {
+	// y = AND(a, b): CC1 = 1+1+1 = 3, CC0 = min(1,1)+1 = 2.
+	// CO(a) = CO(y) + CC1(b) + 1 = 0 + 1 + 1 = 2.
+	b := circuit.NewBuilder("and2")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("y", circuit.And, "a", "b")
+	b.Output("y")
+	c := b.MustBuild()
+	m := Compute(c, nil)
+	yi, _ := c.NodeByName("y")
+	ai, _ := c.NodeByName("a")
+	if m.CC1[yi] != 3 || m.CC0[yi] != 2 {
+		t.Errorf("AND: CC1=%d CC0=%d, want 3/2", m.CC1[yi], m.CC0[yi])
+	}
+	if m.CO[yi] != 0 {
+		t.Errorf("PO CO = %d, want 0", m.CO[yi])
+	}
+	if m.CO[ai] != 2 {
+		t.Errorf("CO(a) = %d, want 2", m.CO[ai])
+	}
+}
+
+func TestHandComputedNorXor(t *testing.T) {
+	b := circuit.NewBuilder("mix")
+	b.Input("a")
+	b.Input("bb")
+	b.Gate("n", circuit.Nor, "a", "bb") // CC0 = min(CC1)+1 = 2, CC1 = ΣCC0+1 = 3
+	b.Gate("x", circuit.Xor, "a", "bb") // CC1 = min(1+1,1+1)+1 = 3, CC0 = 3
+	b.Output("n")
+	b.Output("x")
+	c := b.MustBuild()
+	m := Compute(c, nil)
+	ni, _ := c.NodeByName("n")
+	xi, _ := c.NodeByName("x")
+	if m.CC0[ni] != 2 || m.CC1[ni] != 3 {
+		t.Errorf("NOR: CC0=%d CC1=%d, want 2/3", m.CC0[ni], m.CC1[ni])
+	}
+	if m.CC0[xi] != 3 || m.CC1[xi] != 3 {
+		t.Errorf("XOR: CC0=%d CC1=%d, want 3/3", m.CC0[xi], m.CC1[xi])
+	}
+}
+
+func TestConstantControllability(t *testing.T) {
+	b := circuit.NewBuilder("k")
+	b.Const("z", false)
+	b.Gate("y", circuit.Buf, "z")
+	b.Output("y")
+	c := b.MustBuild()
+	m := Compute(c, nil)
+	zi, _ := c.NodeByName("z")
+	yi, _ := c.NodeByName("y")
+	if m.CC0[zi] != 0 || m.CC1[zi] != Inf {
+		t.Error("const-0 controllability wrong")
+	}
+	if m.CC1[yi] != Inf {
+		t.Error("buffer of const-0 cannot be set to 1")
+	}
+}
+
+func TestScannedFFControllable(t *testing.T) {
+	c := samples.S27()
+	m := Compute(c, nil)
+	for _, ff := range c.DFFs {
+		if m.CC0[ff] != 1 || m.CC1[ff] != 1 {
+			t.Errorf("scanned FF %s should cost 1/1", c.Nodes[ff].Name)
+		}
+		d := c.Nodes[ff].Fanin[0]
+		if m.CO[d] != 0 {
+			t.Errorf("D driver of %s should be observable at 0", c.Nodes[ff].Name)
+		}
+	}
+}
+
+func TestPartialScanMeasures(t *testing.T) {
+	c := samples.S27()
+	ch, err := scan.NewChain(3, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compute(c, ch)
+	// FF 0 scanned, FFs 1 and 2 not.
+	if m.CC0[c.DFFs[0]] != 1 {
+		t.Error("scanned FF should be controllable")
+	}
+	if m.CC0[c.DFFs[1]] != Inf || m.CC1[c.DFFs[2]] != Inf {
+		t.Error("unscanned FFs must be uncontrollable")
+	}
+}
+
+func TestObservabilityMonotoneAlongChain(t *testing.T) {
+	// In a buffer chain to a PO, observability grows toward the inputs.
+	b := circuit.NewBuilder("chain")
+	b.Input("a")
+	b.Gate("b1", circuit.Buf, "a")
+	b.Gate("b2", circuit.Buf, "b1")
+	b.Output("b2")
+	c := b.MustBuild()
+	m := Compute(c, nil)
+	ai, _ := c.NodeByName("a")
+	b1, _ := c.NodeByName("b1")
+	b2, _ := c.NodeByName("b2")
+	if !(m.CO[b2] < m.CO[b1] && m.CO[b1] < m.CO[ai]) {
+		t.Errorf("CO not monotone: %d %d %d", m.CO[b2], m.CO[b1], m.CO[ai])
+	}
+}
+
+func TestFanoutStemTakesMinBranch(t *testing.T) {
+	// Stem feeding both a direct PO branch and a deep branch: stem CO
+	// equals the cheap branch.
+	b := circuit.NewBuilder("fan")
+	b.Input("a")
+	b.Input("bb")
+	b.Gate("s", circuit.Buf, "a")
+	b.Gate("deep", circuit.And, "s", "bb")
+	b.Gate("direct", circuit.Buf, "s")
+	b.Output("deep")
+	b.Output("direct")
+	c := b.MustBuild()
+	m := Compute(c, nil)
+	si, _ := c.NodeByName("s")
+	// Via direct: CO(direct)=0 -> CO(s) = 1. Via deep: 0 + CC1(bb) + 1 = 2.
+	if m.CO[si] != 1 {
+		t.Errorf("stem CO = %d, want 1 (min branch)", m.CO[si])
+	}
+}
+
+func TestCCAccessor(t *testing.T) {
+	c := samples.Comb4()
+	m := Compute(c, nil)
+	pi := c.PIs[0]
+	if m.CC(pi, true) != m.CC1[pi] || m.CC(pi, false) != m.CC0[pi] {
+		t.Error("CC accessor wrong")
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if add(Inf, 1) != Inf || add(1, Inf) != Inf {
+		t.Error("add must saturate at Inf")
+	}
+	if add(Inf-1, Inf-1) != Inf {
+		t.Error("add overflow must clamp to Inf")
+	}
+}

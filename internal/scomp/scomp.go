@@ -1,0 +1,306 @@
+// Package scomp implements the static test compaction procedure of
+// Pomeranz & Reddy [4] ("Static Test Compaction for Scan-Based Designs
+// to Reduce Test Application Time", ATS 1998): repeatedly combine pairs
+// of scan tests
+//
+//	τ_i = (SI_i, T_i), τ_j = (SI_j, T_j)  →  τ_ij = (SI_i, T_i · T_j)
+//
+// which removes one scan-out/scan-in operation (N_SV clock cycles), and
+// accept the combination iff the fault coverage of the whole test set is
+// not reduced. The procedure stops when no pair can be combined.
+//
+// Coverage preservation is checked locally: combining τ_i and τ_j can
+// only lose faults whose sole detectors in the current set are τ_i or
+// τ_j; the combination is accepted iff one fault simulation shows the
+// combined test detects all of them.
+package scomp
+
+import (
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Options configures the combining loop.
+type Options struct {
+	// MaxRounds bounds the number of full passes over all test pairs
+	// (0 = no bound; the procedure runs to its natural fixpoint).
+	MaxRounds int
+
+	// TransferLen enables the improvement of [7] ("Reducing Test
+	// Application Time for Full Scan Circuits by the Addition of
+	// Transfer Sequences", ATS 2000): when the direct combination of
+	// τ_i and τ_j fails, a transfer sequence X of at most TransferLen
+	// functional vectors is synthesized to steer the state reached after
+	// T_i toward SI_j, and the combination (SI_i, T_i·X·T_j) is tried
+	// instead. Profitable whenever len(X) < N_SV, since the combination
+	// removes one scan operation. 0 disables transfer sequences (the
+	// plain [4] procedure the paper uses).
+	TransferLen int
+	// TransferCandidates is the number of candidate vectors evaluated
+	// per transfer step (0 = default 8).
+	TransferCandidates int
+	// Seed drives transfer-candidate generation.
+	Seed int64
+}
+
+// Stats describes one compaction run.
+type Stats struct {
+	Combined         int // accepted pair combinations
+	TransferCombined int // combinations accepted only thanks to a transfer sequence
+	TransferVectors  int // total transfer vectors inserted
+	Attempts         int // candidate simulations performed
+	Rounds           int // full passes over the pair space
+}
+
+// Compact runs the procedure of [4] on ts and returns the compacted set.
+// The input set is not modified. Faults outside the union coverage of ts
+// play no role.
+func Compact(s *fsim.Simulator, ts *scan.Set, opt Options) (*scan.Set, Stats) {
+	var st Stats
+	n := len(ts.Tests)
+	if n <= 1 {
+		return ts.Clone(), st
+	}
+	if max := s.Nsv() - 1; opt.TransferLen > max {
+		// Longer transfers than N_SV-1 cannot be profitable: the scan
+		// operation they replace costs N_SV cycles.
+		opt.TransferLen = max
+	}
+	var r *rand.Rand
+	if opt.TransferLen > 0 {
+		r = rand.New(rand.NewSource(opt.Seed))
+	}
+
+	tests := make([]scan.Test, n)
+	det := make([]*fault.Set, n)
+	for i, t := range ts.Tests {
+		tests[i] = t.Clone()
+		det[i] = s.DetectTest(t.SI, t.Seq, nil)
+	}
+	count := make([]int, s.NumFaults())
+	for _, d := range det {
+		d.ForEach(func(f int) { count[f]++ })
+	}
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	for {
+		st.Rounds++
+		changed := false
+		for i := 0; i < len(tests); i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < len(tests); j++ {
+				if i == j || !alive[i] || !alive[j] {
+					continue
+				}
+				// Faults at risk: detected by τ_i or τ_j and by no other
+				// test in the current set.
+				risk := fault.NewSet(s.NumFaults())
+				di, dj := det[i], det[j]
+				collect := func(f int) {
+					others := count[f]
+					if di.Has(f) {
+						others--
+					}
+					if dj.Has(f) {
+						others--
+					}
+					if others == 0 {
+						risk.Add(f)
+					}
+				}
+				di.ForEach(collect)
+				dj.ForEach(func(f int) {
+					if !di.Has(f) {
+						collect(f)
+					}
+				})
+
+				combined := scan.Test{
+					SI:  tests[i].SI.Clone(),
+					Seq: append(tests[i].Seq.Clone(), tests[j].Seq.Clone()...),
+				}
+				st.Attempts++
+				// First check the risk set alone (cheap), then compute
+				// the full detected set only on acceptance.
+				got := s.DetectTest(combined.SI, combined.Seq, risk)
+				if !got.ContainsAll(risk) {
+					if opt.TransferLen <= 0 {
+						continue
+					}
+					// [7]: steer the post-T_i state toward SI_j with a
+					// short transfer sequence and retry.
+					xfer := transferSequence(s, tests[i], tests[j].SI, opt, r)
+					if xfer == nil {
+						continue
+					}
+					withX := scan.Test{
+						SI: tests[i].SI.Clone(),
+						Seq: append(append(tests[i].Seq.Clone(), xfer...),
+							tests[j].Seq.Clone()...),
+					}
+					st.Attempts++
+					got = s.DetectTest(withX.SI, withX.Seq, risk)
+					if !got.ContainsAll(risk) {
+						continue
+					}
+					combined = withX
+					st.TransferCombined++
+					st.TransferVectors += len(xfer)
+				}
+				union := det[i].Clone()
+				union.UnionWith(det[j])
+				full := s.DetectTest(combined.SI, combined.Seq, union)
+
+				// Accept: replace τ_i with the combination, kill τ_j.
+				det[i].ForEach(func(f int) { count[f]-- })
+				det[j].ForEach(func(f int) { count[f]-- })
+				full.ForEach(func(f int) { count[f]++ })
+				tests[i] = combined
+				det[i] = full
+				alive[j] = false
+				st.Combined++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if opt.MaxRounds > 0 && st.Rounds >= opt.MaxRounds {
+			break
+		}
+	}
+
+	out := scan.NewSet()
+	for i, t := range tests {
+		if alive[i] {
+			out.Tests = append(out.Tests, t)
+		}
+	}
+	return out, st
+}
+
+// transferSequence greedily builds a sequence of at most opt.TransferLen
+// vectors that drives the good-machine state reached after applying
+// from's test toward the target scan-in state: at each step the
+// candidate vector minimizing the Hamming distance of the next state to
+// target wins. Returns nil when no progress is possible.
+func transferSequence(s *fsim.Simulator, from scan.Test, target logic.Vector, opt Options, r *rand.Rand) logic.Sequence {
+	cands := opt.TransferCandidates
+	if cands <= 0 {
+		cands = 8
+	}
+	c := s.Circuit()
+	eng := sim.New(c)
+	eng.SetStateVector(stateForEngine(s, from.SI))
+	for _, v := range from.Seq {
+		eng.SetPIVector(v)
+		eng.Step()
+	}
+
+	var out logic.Sequence
+	cur := distanceToTarget(s, eng, target)
+	for step := 0; step < opt.TransferLen; step++ {
+		if cur == 0 {
+			break
+		}
+		var bestVec logic.Vector
+		bestDist := cur
+		state := eng.StateWords(nil)
+		for k := 0; k < cands; k++ {
+			v := make(logic.Vector, c.NumPIs())
+			for i := range v {
+				v[i] = logic.Value(r.Intn(2))
+			}
+			eng.LoadStateWords(state)
+			eng.SetPIVector(v)
+			eng.Step()
+			if d := distanceToTarget(s, eng, target); d < bestDist {
+				bestDist, bestVec = d, v
+			}
+		}
+		eng.LoadStateWords(state)
+		if bestVec == nil {
+			break // no candidate makes progress
+		}
+		eng.SetPIVector(bestVec)
+		eng.Step()
+		out = append(out, bestVec)
+		cur = bestDist
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// stateForEngine expands a scan-in vector (chain-indexed under partial
+// scan) into a full flip-flop state vector for a raw engine.
+func stateForEngine(s *fsim.Simulator, si logic.Vector) logic.Vector {
+	c := s.Circuit()
+	full := logic.NewVector(c.NumFFs(), logic.X)
+	chain := s.Chain()
+	if chain == nil {
+		copy(full, si)
+		return full
+	}
+	for k, ff := range chain {
+		if k < len(si) {
+			full[ff] = si[k]
+		}
+	}
+	return full
+}
+
+// distanceToTarget counts scanned flip-flops whose current value
+// definitely differs from (or cannot be confirmed equal to) the target
+// scan-in value.
+func distanceToTarget(s *fsim.Simulator, eng *sim.Engine, target logic.Vector) int {
+	chain := s.Chain()
+	if chain == nil {
+		chain = make([]int, s.Circuit().NumFFs())
+		for i := range chain {
+			chain[i] = i
+		}
+	}
+	d := 0
+	for k, ff := range chain {
+		want := logic.X
+		if k < len(target) {
+			want = target[k]
+		}
+		if !want.IsBinary() {
+			continue
+		}
+		if got := eng.State(ff).Get(0); got != want {
+			d++
+		}
+	}
+	return d
+}
+
+// InitialFromComb converts a combinational test set (state, PI) pairs
+// into the length-1 scan test set that [4] uses as its starting point.
+type CombSource interface {
+	ScanTest() scan.Test
+}
+
+// FromCombTests builds the initial scan test set of [4] from any slice
+// of combinational tests.
+func FromCombTests[T CombSource](tests []T) *scan.Set {
+	out := scan.NewSet()
+	for _, t := range tests {
+		out.Tests = append(out.Tests, t.ScanTest())
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package scomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/scan"
+)
+
+func TestTransferCompactPreservesCoverageAndCycles(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "xf", Seed: 71, PIs: 5, POs: 4, FFs: 14, Gates: 150})
+	faults := fault.Collapse(c)
+	res, err := atpg.Generate(c, faults, atpg.Options{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fsim.New(c, faults)
+	initial := FromCombTests(res.Tests)
+	nsv := c.NumFFs()
+
+	plain, stPlain := Compact(s, initial, Options{})
+	xfer, stXfer := Compact(s, initial, Options{TransferLen: 6, Seed: 71})
+
+	for name, out := range map[string]*scan.Set{"plain": plain, "transfer": xfer} {
+		got := coverage(s, out)
+		if !got.ContainsAll(res.Detected) {
+			t.Errorf("%s compaction lost coverage", name)
+		}
+		if out.Cycles(nsv) > initial.Cycles(nsv) {
+			t.Errorf("%s compaction grew cycles", name)
+		}
+	}
+	// Transfer sequences unlock combinations the plain procedure rejects.
+	if stXfer.Combined < stPlain.Combined {
+		t.Errorf("transfer mode combined fewer pairs (%d < %d)",
+			stXfer.Combined, stPlain.Combined)
+	}
+	t.Logf("plain: %d tests %d cycles; transfer: %d tests %d cycles (%d transfer merges, %d vectors)",
+		plain.NumTests(), plain.Cycles(nsv),
+		xfer.NumTests(), xfer.Cycles(nsv),
+		stXfer.TransferCombined, stXfer.TransferVectors)
+}
+
+func TestTransferLenClampedToNsv(t *testing.T) {
+	// TransferLen larger than N_SV-1 cannot be profitable and must be
+	// clamped: inserted transfers never reach N_SV vectors.
+	c := gen.MustGenerate(gen.Params{Name: "xf2", Seed: 72, PIs: 4, POs: 3, FFs: 5, Gates: 60})
+	faults := fault.Collapse(c)
+	res, err := atpg.Generate(c, faults, atpg.Options{Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fsim.New(c, faults)
+	initial := FromCombTests(res.Tests)
+	out, st := Compact(s, initial, Options{TransferLen: 100, Seed: 72})
+	if st.TransferCombined > 0 {
+		avg := st.TransferVectors / st.TransferCombined
+		if avg >= c.NumFFs() {
+			t.Errorf("average transfer length %d >= N_SV %d", avg, c.NumFFs())
+		}
+	}
+	if !coverage(s, out).ContainsAll(res.Detected) {
+		t.Error("coverage lost")
+	}
+}
+
+func TestTransferSequenceHelper(t *testing.T) {
+	// On a shift register the transfer target is reachable exactly:
+	// from state 000 after shifting in 1, steering toward target 111
+	// must make progress (distance strictly decreases).
+	c := gen.MustGenerate(gen.Params{Name: "xf3", Seed: 73, PIs: 4, POs: 3, FFs: 6, Gates: 70})
+	s := fsim.New(c, fault.Collapse(c))
+	from := scan.Test{
+		SI:  logic.NewVector(c.NumFFs(), logic.Zero),
+		Seq: logic.Sequence{logic.NewVector(c.NumPIs(), logic.One)},
+	}
+	target := logic.NewVector(c.NumFFs(), logic.One)
+	opt := Options{TransferLen: 5, TransferCandidates: 16, Seed: 73}
+	r := newTestRand(73)
+	x := transferSequence(s, from, target, opt, r)
+	// Not guaranteed to reach the target, but any returned sequence is
+	// bounded and non-empty.
+	if x != nil && (len(x) == 0 || len(x) > 5) {
+		t.Errorf("transfer sequence length %d outside (0,5]", len(x))
+	}
+}
+
+func TestTransferDeterministic(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "xf4", Seed: 74, PIs: 5, POs: 4, FFs: 10, Gates: 100})
+	faults := fault.Collapse(c)
+	res, err := atpg.Generate(c, faults, atpg.Options{Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fsim.New(c, faults)
+	initial := FromCombTests(res.Tests)
+	a, _ := Compact(s, initial, Options{TransferLen: 4, Seed: 1})
+	b, _ := Compact(s, initial, Options{TransferLen: 4, Seed: 1})
+	if a.NumTests() != b.NumTests() || a.TotalVectors() != b.TotalVectors() {
+		t.Error("transfer compaction not deterministic")
+	}
+}
+
+// newTestRand builds the deterministic rand source the transfer helper
+// expects.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

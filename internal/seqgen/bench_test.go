@@ -1,0 +1,30 @@
+package seqgen
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+)
+
+// BenchmarkGenerate measures directed sequence generation on a mid-size
+// circuit (the T_0 source of the pipeline).
+func BenchmarkGenerate(b *testing.B) {
+	c := gen.MustGenerate(gen.Params{Name: "b", Seed: 6, PIs: 8, POs: 6, FFs: 24, Gates: 300})
+	faults := fault.Collapse(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Generate(c, faults, Options{Seed: 6, MaxLen: 100})
+		b.ReportMetric(float64(res.Detected.Count()), "detected")
+	}
+}
+
+// BenchmarkRandom measures random-sequence generation (the Table 5 arm's
+// input source; essentially the RNG cost).
+func BenchmarkRandom(b *testing.B) {
+	c := gen.MustGenerate(gen.Params{Name: "b", Seed: 6, PIs: 8, POs: 6, FFs: 24, Gates: 300})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Random(c, 1000, int64(i))
+	}
+}

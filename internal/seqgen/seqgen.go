@@ -1,0 +1,328 @@
+// Package seqgen generates test sequences for sequential circuits
+// operating without scan, standing in for the simulation-based sequential
+// ATPGs the paper sources its initial sequences from (STRATEGATE [10],
+// PROPTEST [12]).
+//
+// The generator is simulation-based, like those tools: at each time step
+// it proposes a small set of candidate input vectors (random vectors,
+// single-bit mutations of the previous vector, and a repeat of the
+// previous vector), scores each candidate by the number of new fault
+// detections it would cause — with good-machine state activity as a tie
+// breaker, which drives state traversal the way STRATEGATE's dynamic
+// state traversal does — and commits the best one. Generation stops when
+// the sequence reaches its length cap, every fault is detected, or no
+// detection has happened for a stall window.
+//
+// Fault machines are tracked incrementally in parallel groups of 63
+// (slot 0 carries the good machine), so one step costs one combinational
+// evaluation per group.
+package seqgen
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+const groupFaults = 63
+
+// Options configures sequence generation.
+type Options struct {
+	Seed int64
+	// MaxLen caps the sequence length (0 = default 1000).
+	MaxLen int
+	// Candidates per step (0 = default 8).
+	Candidates int
+	// StallLimit stops generation after this many consecutive steps
+	// without a new detection (0 = default 100).
+	StallLimit int
+	// SegmentLen is the lookahead depth of the plateau-escape segment
+	// search (0 = default 8).
+	SegmentLen int
+	// SegmentTrials is the number of random segments evaluated per
+	// plateau step (0 = default 6).
+	SegmentTrials int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLen == 0 {
+		o.MaxLen = 1000
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 8
+	}
+	if o.StallLimit == 0 {
+		o.StallLimit = 100
+	}
+	if o.SegmentLen == 0 {
+		o.SegmentLen = 8
+	}
+	if o.SegmentTrials == 0 {
+		o.SegmentTrials = 6
+	}
+	return o
+}
+
+// Result is a generated sequence and the faults it detects (at primary
+// outputs, starting from the all-X state — the F_0 of the paper).
+type Result struct {
+	Seq      logic.Sequence
+	Detected *fault.Set
+}
+
+// group tracks 63 faulty machines plus the good machine in slot 0.
+type group struct {
+	injs    []sim.Injection
+	indices []int // fault indices for slots 1..len(indices)
+	state   []logic.Word
+	mask    uint64 // slots with live (undetected) faults
+}
+
+// Generate runs the simulation-based search and returns the sequence.
+func Generate(c *circuit.Circuit, faults []fault.Fault, opt Options) *Result {
+	opt = opt.withDefaults()
+	r := rand.New(rand.NewSource(opt.Seed))
+	eng := sim.New(c)
+	nff := c.NumFFs()
+
+	groups := makeGroups(c, faults, nff)
+	detected := fault.NewSet(len(faults))
+
+	var seq logic.Sequence
+	prev := randomVec(r, c.NumPIs())
+	stall := 0
+
+	const plateauAfter = 10
+	for len(seq) < opt.MaxLen && detected.Count() < len(faults) && stall < opt.StallLimit {
+		if stall >= plateauAfter {
+			// Plateau: single-step greedy is looping. Search over whole
+			// random segments (multi-time-frame lookahead, the mechanism
+			// by which simulation-based sequential ATPGs reach faults
+			// that need coordinated vector runs) and commit the best.
+			seg := bestSegment(eng, c, groups, r, opt)
+			for _, v := range seg {
+				if len(seq) >= opt.MaxLen || stall >= opt.StallLimit {
+					break
+				}
+				newDet := commitStep(eng, c, groups, v, detected)
+				seq = append(seq, v)
+				prev = v
+				if newDet > 0 {
+					stall = 0
+				} else {
+					stall++
+				}
+			}
+			continue
+		}
+		// Build candidate vectors for the single-step greedy phase.
+		cands := make([]logic.Vector, 0, opt.Candidates)
+		cands = append(cands, prev.Clone())
+		if c.NumPIs() > 0 {
+			m := prev.Clone()
+			i := r.Intn(len(m))
+			m[i] = m[i].Not()
+			cands = append(cands, m)
+		}
+		for len(cands) < opt.Candidates {
+			cands = append(cands, randomVec(r, c.NumPIs()))
+		}
+
+		// Score each candidate lexicographically.
+		bestIdx := -1
+		bestDet, bestLat, bestAct := -1, -1, -1
+		for ci, cand := range cands {
+			det, lat, act := scoreCandidate(eng, c, groups, cand)
+			if det > bestDet ||
+				(det == bestDet && lat > bestLat) ||
+				(det == bestDet && lat == bestLat && act > bestAct) {
+				bestIdx, bestDet, bestLat, bestAct = ci, det, lat, act
+			}
+		}
+		chosen := cands[bestIdx]
+
+		// Commit: step every group with the chosen vector.
+		newDet := commitStep(eng, c, groups, chosen, detected)
+		seq = append(seq, chosen)
+		prev = chosen
+		if newDet > 0 {
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return &Result{Seq: seq, Detected: detected}
+}
+
+func makeGroups(c *circuit.Circuit, faults []fault.Fault, nff int) []*group {
+	var groups []*group
+	for start := 0; start < len(faults); start += groupFaults {
+		end := start + groupFaults
+		if end > len(faults) {
+			end = len(faults)
+		}
+		g := &group{state: make([]logic.Word, nff)}
+		for i := range g.state {
+			g.state[i] = logic.AllX
+		}
+		for bi := start; bi < end; bi++ {
+			slot := uint(bi - start + 1)
+			g.indices = append(g.indices, bi)
+			g.injs = append(g.injs, faults[bi].Injection(1<<slot))
+			g.mask |= 1 << slot
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// scoreCandidate evaluates one vector against all live groups without
+// committing state. The score is lexicographic: new PO detections first,
+// then undetected faults whose effect gets latched into a flip-flop
+// (propagation progress — the precursor of a future detection), then
+// good-machine state activity (drives state traversal).
+func scoreCandidate(eng *sim.Engine, c *circuit.Circuit, groups []*group, cand logic.Vector) (det, latched, act int) {
+	for _, g := range groups {
+		if g.mask == 0 {
+			continue
+		}
+		eng.Reset()
+		eng.SetInjections(g.injs)
+		eng.LoadStateWords(g.state)
+		eng.SetPIVector(cand)
+		eng.EvalComb()
+		var diff uint64
+		for i := range c.POs {
+			w := eng.PO(i)
+			diff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+		}
+		diff &= g.mask
+		det += popcount(diff)
+		ns := eng.NextState()
+		var sdiff uint64
+		for i := range ns {
+			w := ns[i]
+			sdiff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+			gv := g.state[i].Get(0)
+			nv := w.Get(0)
+			if nv.IsBinary() && nv != gv {
+				act++
+			}
+		}
+		latched += popcount(sdiff & g.mask &^ diff)
+	}
+	return det, latched, act
+}
+
+// commitStep advances every group by one clock with the chosen vector,
+// recording detections. Returns the number of newly detected faults.
+func commitStep(eng *sim.Engine, c *circuit.Circuit, groups []*group, vec logic.Vector, detected *fault.Set) int {
+	newDet := 0
+	for _, g := range groups {
+		if g.mask == 0 {
+			// Still advance the good state so a late group revival is
+			// impossible; with mask 0 nothing remains to detect, so we
+			// can skip entirely.
+			continue
+		}
+		eng.Reset()
+		eng.SetInjections(g.injs)
+		eng.LoadStateWords(g.state)
+		eng.SetPIVector(vec)
+		eng.EvalComb()
+		var diff uint64
+		for i := range c.POs {
+			w := eng.PO(i)
+			diff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+		}
+		diff &= g.mask
+		if diff != 0 {
+			for bi, fi := range g.indices {
+				if diff&(1<<uint(bi+1)) != 0 {
+					detected.Add(fi)
+					newDet++
+				}
+			}
+			g.mask &^= diff
+		}
+		eng.ClockFF()
+		eng.StateWords(g.state)
+	}
+	return newDet
+}
+
+// bestSegment evaluates SegmentTrials random segments of SegmentLen
+// vectors from the current state of every live group and returns the one
+// with the most detections (ties broken by end-of-segment latched fault
+// effects). Group state is not modified.
+func bestSegment(eng *sim.Engine, c *circuit.Circuit, groups []*group, r *rand.Rand, opt Options) logic.Sequence {
+	var best logic.Sequence
+	bestDet, bestLat := -1, -1
+	nff := c.NumFFs()
+	state := make([]logic.Word, nff)
+	for trial := 0; trial < opt.SegmentTrials; trial++ {
+		seg := make(logic.Sequence, opt.SegmentLen)
+		for i := range seg {
+			seg[i] = randomVec(r, c.NumPIs())
+		}
+		det, lat := 0, 0
+		for _, g := range groups {
+			if g.mask == 0 {
+				continue
+			}
+			copy(state, g.state)
+			live := g.mask
+			eng.Reset()
+			eng.SetInjections(g.injs)
+			eng.LoadStateWords(state)
+			for _, v := range seg {
+				eng.SetPIVector(v)
+				eng.EvalComb()
+				var diff uint64
+				for i := range c.POs {
+					w := eng.PO(i)
+					diff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+				}
+				diff &= live
+				det += popcount(diff)
+				live &^= diff
+				eng.ClockFF()
+			}
+			var sdiff uint64
+			for i := 0; i < nff; i++ {
+				w := eng.State(i)
+				sdiff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+			}
+			lat += popcount(sdiff & live)
+		}
+		if det > bestDet || (det == bestDet && lat > bestLat) {
+			best, bestDet, bestLat = seg, det, lat
+		}
+	}
+	return best
+}
+
+// Random returns a sequence of length n of uniformly random binary input
+// vectors — the paper's "random input sequences of length 1000".
+func Random(c *circuit.Circuit, n int, seed int64) logic.Sequence {
+	r := rand.New(rand.NewSource(seed))
+	seq := make(logic.Sequence, n)
+	for i := range seq {
+		seq[i] = randomVec(r, c.NumPIs())
+	}
+	return seq
+}
+
+func randomVec(r *rand.Rand, n int) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := range v {
+		v[i] = logic.Value(r.Intn(2))
+	}
+	return v
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,156 @@
+package seqgen
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/samples"
+)
+
+func TestGenerateDetectsClaimedFaults(t *testing.T) {
+	// The incremental tracker must agree with an independent replay of
+	// the final sequence through the batch fault simulator.
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res := Generate(c, faults, Options{Seed: 1, MaxLen: 60})
+	if len(res.Seq) == 0 {
+		t.Fatal("empty sequence generated")
+	}
+	replay := fsim.New(c, faults).Detect(res.Seq, fsim.Options{})
+	if !replay.Equal(res.Detected) {
+		t.Errorf("incremental detected %d faults, replay %d",
+			res.Detected.Count(), replay.Count())
+	}
+}
+
+func TestGenerateBeatsRandomOnCoverage(t *testing.T) {
+	// The directed generator must detect more faults than pure random
+	// sequences of the same length on average over several seeds (the
+	// paper's Table 1 vs Table 5 relationship). Individual seeds may tie.
+	c := gen.MustGenerate(gen.Params{Name: "t", Seed: 3, PIs: 5, POs: 4, FFs: 12, Gates: 150})
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	dirTotal, randTotal := 0, 0
+	for seed := int64(1); seed <= 3; seed++ {
+		res := Generate(c, faults, Options{Seed: seed, MaxLen: 200})
+		if res.Detected.Count() == 0 {
+			t.Fatalf("seed %d: directed generator detected nothing", seed)
+		}
+		randDet := s.Detect(Random(c, len(res.Seq), seed), fsim.Options{})
+		dirTotal += res.Detected.Count()
+		randTotal += randDet.Count()
+	}
+	if dirTotal < randTotal {
+		t.Errorf("directed total %d < random total %d over 3 seeds", dirTotal, randTotal)
+	}
+}
+
+func TestGenerateRespectsMaxLen(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res := Generate(c, faults, Options{Seed: 1, MaxLen: 10, StallLimit: 1000})
+	if len(res.Seq) > 10 {
+		t.Errorf("sequence length %d exceeds MaxLen 10", len(res.Seq))
+	}
+}
+
+func TestGenerateStalls(t *testing.T) {
+	// With a tiny stall limit the generator must stop early.
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res := Generate(c, faults, Options{Seed: 1, MaxLen: 1000, StallLimit: 3})
+	if len(res.Seq) >= 1000 {
+		t.Error("generator did not stall")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	a := Generate(c, faults, Options{Seed: 9, MaxLen: 40})
+	b := Generate(c, faults, Options{Seed: 9, MaxLen: 40})
+	if len(a.Seq) != len(b.Seq) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Seq), len(b.Seq))
+	}
+	for i := range a.Seq {
+		if !a.Seq[i].Equal(b.Seq[i]) {
+			t.Fatalf("vector %d differs", i)
+		}
+	}
+	if !a.Detected.Equal(b.Detected) {
+		t.Error("detected sets differ between identical runs")
+	}
+}
+
+func TestRandomSequence(t *testing.T) {
+	c := samples.S27()
+	seq := Random(c, 100, 5)
+	if len(seq) != 100 {
+		t.Fatalf("length = %d", len(seq))
+	}
+	ones := 0
+	for _, v := range seq {
+		if len(v) != c.NumPIs() {
+			t.Fatalf("vector width %d != %d PIs", len(v), c.NumPIs())
+		}
+		for _, x := range v {
+			if !x.IsBinary() {
+				t.Fatal("random sequence contains X")
+			}
+			if x == logic.One {
+				ones++
+			}
+		}
+	}
+	total := 100 * c.NumPIs()
+	if ones < total/4 || ones > 3*total/4 {
+		t.Errorf("ones fraction %d/%d far from uniform", ones, total)
+	}
+	// Determinism.
+	seq2 := Random(c, 100, 5)
+	for i := range seq {
+		if !seq[i].Equal(seq2[i]) {
+			t.Fatal("Random not deterministic")
+		}
+	}
+}
+
+func TestGenerateAllDetectedStops(t *testing.T) {
+	// A tiny circuit where every fault is quickly detected: generation
+	// should stop well before MaxLen once coverage is complete.
+	c := samples.Toggle()
+	faults := fault.Collapse(c)
+	res := Generate(c, faults, Options{Seed: 4, MaxLen: 500, StallLimit: 400})
+	if res.Detected.Count() == len(faults) && len(res.Seq) >= 500 {
+		t.Error("generator kept going after full coverage")
+	}
+}
+
+func TestGenerateSegmentOptions(t *testing.T) {
+	// Custom segment parameters must be honored and keep the incremental
+	// bookkeeping consistent with a replay.
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	res := Generate(c, faults, Options{
+		Seed: 3, MaxLen: 80, StallLimit: 60,
+		SegmentLen: 4, SegmentTrials: 3, Candidates: 4,
+	})
+	replay := fsim.New(c, faults).Detect(res.Seq, fsim.Options{})
+	if !replay.Equal(res.Detected) {
+		t.Errorf("segment-mode bookkeeping diverged: %d vs %d",
+			res.Detected.Count(), replay.Count())
+	}
+}
+
+func TestGenerateZeroFaults(t *testing.T) {
+	// An empty fault list means everything is "detected" immediately:
+	// generation must terminate without work.
+	c := samples.S27()
+	res := Generate(c, nil, Options{Seed: 1, MaxLen: 50})
+	if len(res.Seq) != 0 || res.Detected.Count() != 0 {
+		t.Errorf("empty fault list: len=%d detected=%d", len(res.Seq), res.Detected.Count())
+	}
+}

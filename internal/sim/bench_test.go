@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/samples"
+)
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	c := gen.MustGenerate(gen.Params{Name: "b", Seed: 1, PIs: 8, POs: 6, FFs: 32, Gates: 500})
+	return New(c)
+}
+
+// BenchmarkEvalComb measures one 64-slot combinational evaluation of a
+// ~500 gate circuit (the innermost loop of every fault simulation).
+func BenchmarkEvalComb(b *testing.B) {
+	e := benchEngine(b)
+	e.SetPIVector(logic.NewVector(8, logic.One))
+	e.SetStateVector(logic.NewVector(32, logic.Zero))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalComb()
+	}
+	b.ReportMetric(float64(e.Circuit().NumGates()), "gates")
+}
+
+// BenchmarkEvalCombInjected measures the same evaluation with a full
+// complement of 63 fault injections active.
+func BenchmarkEvalCombInjected(b *testing.B) {
+	e := benchEngine(b)
+	c := e.Circuit()
+	injs := make([]Injection, 0, 63)
+	for i := 0; len(injs) < 63 && i < c.NumNodes(); i++ {
+		if c.Nodes[i].Kind.IsGate() {
+			injs = append(injs, Injection{Node: i, Pin: -1, Stuck: logic.One, Mask: 1 << uint(len(injs)+1)})
+		}
+	}
+	e.SetInjections(injs)
+	e.SetPIVector(logic.NewVector(8, logic.One))
+	e.SetStateVector(logic.NewVector(32, logic.Zero))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalComb()
+	}
+}
+
+// BenchmarkStep measures a full functional clock cycle.
+func BenchmarkStep(b *testing.B) {
+	e := benchEngine(b)
+	e.SetPIVector(logic.NewVector(8, logic.One))
+	e.SetStateVector(logic.NewVector(32, logic.Zero))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkRunSequenceS27 measures the scalar convenience path.
+func BenchmarkRunSequenceS27(b *testing.B) {
+	c := samples.S27()
+	seq := make(logic.Sequence, 32)
+	for i := range seq {
+		seq[i] = logic.NewVector(c.NumPIs(), logic.Value(i%2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSequence(c, nil, seq)
+	}
+}

@@ -1,0 +1,408 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/samples"
+)
+
+func vec(s string) logic.Vector {
+	v, err := logic.ParseVector(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestComb4MuxTruth(t *testing.T) {
+	c := samples.Comb4()
+	// PIs: a, b, sel, c ; POs: y = sel ? b : a, p = y XOR c.
+	cases := []struct{ in, want string }{
+		{"1000", "11"}, // a=1 sel=0 -> y=1, p=1^0=1
+		{"1001", "10"},
+		{"0110", "11"}, // sel=1 -> y=b=1
+		{"0100", "00"},
+		{"1010", "00"}, // sel=1 -> y=b=0
+		{"0000", "00"},
+		{"1111", "10"},
+	}
+	for _, tc := range cases {
+		po, _ := EvalCombScalar(c, vec(tc.in), nil)
+		if po.String() != tc.want {
+			t.Errorf("in %s: po = %s, want %s", tc.in, po, tc.want)
+		}
+	}
+}
+
+func TestComb4XPropagation(t *testing.T) {
+	c := samples.Comb4()
+	// sel=X with a=b=1: both mux legs could drive 1... our pessimistic
+	// 3-valued sim reports X for y (no dominance through OR of two X
+	// ANDs). Verify X stays X and doesn't become a definite wrong value.
+	po, _ := EvalCombScalar(c, vec("11x0"), nil)
+	if po[0] != logic.X {
+		t.Errorf("y with sel=X = %v, want X (pessimistic 3-valued)", po[0])
+	}
+	// a=b=0 forces y=0 regardless of sel: both AND legs are 0.
+	po, _ = EvalCombScalar(c, vec("00x0"), nil)
+	if po[0] != logic.Zero {
+		t.Errorf("y with a=b=0, sel=X = %v, want 0", po[0])
+	}
+}
+
+func TestToggleSequence(t *testing.T) {
+	c := samples.Toggle()
+	// Start from q=0; enable pattern 1,1,0,1 -> q after each clock: 1,0,0,1.
+	tr := RunSequence(c, vec("0"), logic.Sequence{vec("1"), vec("1"), vec("0"), vec("1")})
+	wantStates := []string{"1", "0", "0", "1"}
+	for u, w := range wantStates {
+		if tr.States[u].String() != w {
+			t.Errorf("state after clock %d = %s, want %s", u, tr.States[u], w)
+		}
+	}
+	// Output shows q before the clock: 0,1,0,0.
+	wantPOs := []string{"0", "1", "0", "0"}
+	for u, w := range wantPOs {
+		if tr.POs[u].String() != w {
+			t.Errorf("PO at time %d = %s, want %s", u, tr.POs[u], w)
+		}
+	}
+	if tr.Final().String() != "1" {
+		t.Errorf("Final = %s, want 1", tr.Final())
+	}
+}
+
+func TestToggleUnknownStart(t *testing.T) {
+	c := samples.Toggle()
+	tr := RunSequence(c, nil, logic.Sequence{vec("1"), vec("1")})
+	// q starts X; q XOR 1 = X forever.
+	if tr.States[1][0] != logic.X {
+		t.Errorf("state = %v, want X", tr.States[1][0])
+	}
+	if tr.Final() == nil {
+		t.Error("Final should not be nil for a non-empty run")
+	}
+	empty := RunSequence(c, nil, nil)
+	if empty.Final() != nil {
+		t.Error("Final of empty run should be nil")
+	}
+}
+
+func TestShiftRegPropagation(t *testing.T) {
+	c := samples.ShiftReg(4)
+	seq := logic.Sequence{vec("1"), vec("0"), vec("0"), vec("0"), vec("0")}
+	tr := RunSequence(c, vec("0000"), seq)
+	// The 1 enters q0 after clock 0 and marches to q3.
+	wantStates := []string{"1000", "0100", "0010", "0001", "0000"}
+	for u, w := range wantStates {
+		if tr.States[u].String() != w {
+			t.Errorf("state after clock %d = %s, want %s", u, tr.States[u], w)
+		}
+	}
+}
+
+func TestParallelPatternsMatchScalar(t *testing.T) {
+	c := samples.S27()
+	r := rand.New(rand.NewSource(7))
+	// 64 random (state, input) pairs evaluated in one parallel pass must
+	// match 64 scalar evaluations.
+	pis := make([]logic.Vector, 64)
+	states := make([]logic.Vector, 64)
+	for s := 0; s < 64; s++ {
+		pis[s] = randomVector(r, c.NumPIs())
+		states[s] = randomVector(r, c.NumFFs())
+	}
+	e := New(c)
+	e.SetPIPatterns(pis)
+	for i := 0; i < c.NumFFs(); i++ {
+		var w logic.Word
+		for s := 0; s < 64; s++ {
+			w = w.Set(uint(s), states[s][i])
+		}
+		e.SetState(i, w)
+	}
+	e.EvalComb()
+	ns := e.NextState()
+	for s := 0; s < 64; s++ {
+		po, next := EvalCombScalar(c, pis[s], states[s])
+		for i := range c.POs {
+			if got := e.PO(i).Get(uint(s)); got != po[i] {
+				t.Fatalf("slot %d PO %d: parallel %v, scalar %v", s, i, got, po[i])
+			}
+		}
+		for i := range next {
+			if got := ns[i].Get(uint(s)); got != next[i] {
+				t.Fatalf("slot %d FF %d: parallel %v, scalar %v", s, i, got, next[i])
+			}
+		}
+	}
+}
+
+func randomVector(r *rand.Rand, n int) logic.Vector {
+	v := make(logic.Vector, n)
+	for i := range v {
+		if r.Intn(2) == 0 {
+			v[i] = logic.Zero
+		} else {
+			v[i] = logic.One
+		}
+	}
+	return v
+}
+
+func TestOutputInjectionOnGate(t *testing.T) {
+	c := samples.Comb4()
+	yi, _ := c.NodeByName("y")
+	e := New(c)
+	e.SetInjections([]Injection{{Node: yi, Pin: -1, Stuck: logic.One, Mask: 1 << 1}})
+	// Slot 0 clean, slot 1 faulty. Input drives y=0.
+	e.SetPIPatterns([]logic.Vector{vec("0000"), vec("0000")})
+	e.EvalComb()
+	if e.PO(0).Get(0) != logic.Zero {
+		t.Error("good slot should see y=0")
+	}
+	if e.PO(0).Get(1) != logic.One {
+		t.Error("faulty slot should see y stuck at 1")
+	}
+	// p = y XOR c must also differ downstream.
+	if e.PO(1).Get(0) != logic.Zero || e.PO(1).Get(1) != logic.One {
+		t.Error("fault effect did not propagate downstream of injection")
+	}
+}
+
+func TestPinInjectionAffectsOnlyOneBranch(t *testing.T) {
+	// y = AND(a, a2) where a2 = BUF(a): force the pin fault only on the
+	// AND's first pin; the BUF branch must stay clean.
+	b := circuit.NewBuilder("branch")
+	b.Input("a")
+	b.Output("y")
+	b.Output("w")
+	b.Gate("a2", circuit.Buf, "a")
+	b.Gate("y", circuit.And, "a", "a2")
+	b.Gate("w", circuit.Buf, "a")
+	c := b.MustBuild()
+	yi, _ := c.NodeByName("y")
+	e := New(c)
+	e.SetInjections([]Injection{{Node: yi, Pin: 0, Stuck: logic.Zero, Mask: ^uint64(0)}})
+	e.SetPIVector(vec("1"))
+	e.EvalComb()
+	if e.PO(0).Get(0) != logic.Zero {
+		t.Error("AND should see stuck-0 pin and output 0")
+	}
+	if e.PO(1).Get(0) != logic.One {
+		t.Error("other branch of the stem must not see the pin fault")
+	}
+}
+
+func TestInjectionOnPIAndDFF(t *testing.T) {
+	c := samples.Toggle()
+	eni, _ := c.NodeByName("en")
+	qi, _ := c.NodeByName("q")
+
+	// PI stuck-at-0: toggle never fires.
+	e := New(c)
+	e.SetInjections([]Injection{{Node: eni, Pin: -1, Stuck: logic.Zero, Mask: ^uint64(0)}})
+	e.SetStateVector(vec("0"))
+	e.SetPIVector(vec("1"))
+	e.Step()
+	if e.State(0).Get(0) != logic.Zero {
+		t.Error("with en stuck-0 the FF must hold 0")
+	}
+
+	// DFF output stuck-at-1: state forced after every clock.
+	e2 := New(c)
+	e2.SetInjections([]Injection{{Node: qi, Pin: -1, Stuck: logic.One, Mask: ^uint64(0)}})
+	e2.SetStateVector(vec("1"))
+	e2.SetPIVector(vec("1")) // toggling from 1 would give 0, but stuck keeps 1
+	e2.EvalComb()
+	e2.ClockFF()
+	if e2.State(0).Get(0) != logic.One {
+		t.Error("stuck flip-flop output must remain 1 after clock")
+	}
+}
+
+func TestInjectionMaskLimitsSlots(t *testing.T) {
+	c := samples.Comb4()
+	ai, _ := c.NodeByName("a")
+	e := New(c)
+	e.SetInjections([]Injection{{Node: ai, Pin: -1, Stuck: logic.One, Mask: 1 << 5}})
+	e.SetPIVector(vec("0000")) // broadcast zeros to all slots
+	e.EvalComb()
+	for s := uint(0); s < 8; s++ {
+		want := logic.Zero
+		if s == 5 {
+			want = logic.One
+		}
+		if got := e.PO(0).Get(s); got != want {
+			t.Errorf("slot %d: y = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestResetClearsStateAndInjections(t *testing.T) {
+	c := samples.Toggle()
+	qi, _ := c.NodeByName("q")
+	e := New(c)
+	e.SetInjections([]Injection{{Node: qi, Pin: -1, Stuck: logic.One, Mask: ^uint64(0)}})
+	e.SetStateVector(vec("0"))
+	e.Reset()
+	if e.State(0) != logic.AllX {
+		t.Error("Reset should clear state to X")
+	}
+	e.SetStateVector(vec("0"))
+	e.SetPIVector(vec("0"))
+	e.Step()
+	if e.State(0).Get(0) != logic.Zero {
+		t.Error("Reset should drop injections")
+	}
+}
+
+func TestStateWordsRoundTrip(t *testing.T) {
+	c := samples.ShiftReg(3)
+	e := New(c)
+	e.SetStateVector(vec("101"))
+	words := e.StateWords(nil)
+	e2 := New(c)
+	e2.LoadStateWords(words)
+	for i := 0; i < 3; i++ {
+		if e2.State(i) != e.State(i) {
+			t.Errorf("FF %d state mismatch after word round trip", i)
+		}
+	}
+	buf := make([]logic.Word, 3)
+	if got := e.StateWords(buf); &got[0] != &buf[0] {
+		t.Error("StateWords should reuse the provided buffer")
+	}
+}
+
+func TestConstantsEvaluate(t *testing.T) {
+	b := circuit.NewBuilder("k")
+	b.Const("z", false)
+	b.Const("o", true)
+	b.Gate("y", circuit.Or, "z", "o")
+	b.Output("y")
+	c := b.MustBuild()
+	po, _ := EvalCombScalar(c, nil, nil)
+	if po[0] != logic.One {
+		t.Errorf("OR(0,1) = %v, want 1", po[0])
+	}
+}
+
+func TestWideGates(t *testing.T) {
+	b := circuit.NewBuilder("wide")
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		b.Input(n)
+	}
+	b.Gate("and5", circuit.And, "a", "b", "c", "d", "e")
+	b.Gate("nor5", circuit.Nor, "a", "b", "c", "d", "e")
+	b.Gate("xor5", circuit.Xor, "a", "b", "c", "d", "e")
+	b.Output("and5")
+	b.Output("nor5")
+	b.Output("xor5")
+	c := b.MustBuild()
+	po, _ := EvalCombScalar(c, vec("11111"), nil)
+	if po.String() != "101" {
+		t.Errorf("all-ones: %s, want 101", po)
+	}
+	po, _ = EvalCombScalar(c, vec("00000"), nil)
+	if po.String() != "010" {
+		t.Errorf("all-zeros: %s, want 010", po)
+	}
+	po, _ = EvalCombScalar(c, vec("10101"), nil)
+	if po.String() != "001" {
+		t.Errorf("10101: %s, want 001", po)
+	}
+}
+
+func TestS27KnownGoodVectors(t *testing.T) {
+	// Cross-check a multi-cycle s27 run against values computed by the
+	// scalar evaluator itself (self-consistency of Step vs manual
+	// EvalComb+ClockFF), and pin down one hand-derived cycle.
+	c := samples.S27()
+	e := New(c)
+	e.SetStateVector(vec("000"))
+	e.SetPIVector(vec("0000"))
+	e.EvalComb()
+	// With all PIs 0 and state 000: G14=NOT(0)=1, G8=AND(1,0)=0,
+	// G12=NOR(0,0)=1, G13=NOR(0,1)=0, G15=OR(1,0)=1, G16=OR(0,0)=0,
+	// G9=NAND(0,1)=1, G11=NOR(0,1)=0, G10=NOR(1,0)=0, G17=NOT(0)=1.
+	if got := e.PO(0).Get(0); got != logic.One {
+		t.Errorf("s27 PO = %v, want 1", got)
+	}
+	ns := e.NextState()
+	want := []logic.Value{logic.Zero, logic.Zero, logic.Zero} // G10=0,G11=0,G13=0
+	for i, w := range want {
+		if ns[i].Get(0) != w {
+			t.Errorf("next state FF %d = %v, want %v", i, ns[i].Get(0), w)
+		}
+	}
+}
+
+func TestAccessorsAndSetPI(t *testing.T) {
+	c := samples.Comb4()
+	e := New(c)
+	if e.Circuit() != c {
+		t.Error("Circuit accessor wrong")
+	}
+	e.SetPI(0, logic.AllOne)
+	e.SetPI(1, logic.AllZero)
+	e.SetPI(2, logic.AllZero)
+	e.SetPI(3, logic.AllZero)
+	e.EvalComb()
+	if e.PO(0).Get(0) != logic.One {
+		t.Error("SetPI path broken")
+	}
+	yi, _ := c.NodeByName("y")
+	if e.Val(yi).Get(0) != logic.One {
+		t.Error("Val accessor broken")
+	}
+	// SetNode on a source behaves like the typed setters.
+	ai, _ := c.NodeByName("a")
+	e.SetNode(ai, logic.AllZero)
+	e.EvalComb()
+	if e.PO(0).Get(0) != logic.Zero {
+		t.Error("SetNode on a PI did not take effect")
+	}
+}
+
+func TestEvalGateWithPinInjectionsAllKinds(t *testing.T) {
+	// Exercise the slow evalGate path (pin injections present) for every
+	// gate kind, cross-checked against the fast path without injections
+	// on an unaffected slot.
+	kinds := []circuit.Kind{circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+		circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf}
+	for _, k := range kinds {
+		b := circuit.NewBuilder("k")
+		b.Input("a")
+		b.Input("bb")
+		if k == circuit.Not || k == circuit.Buf {
+			b.Gate("y", k, "a")
+		} else {
+			b.Gate("y", k, "a", "bb")
+		}
+		b.Output("y")
+		c := b.MustBuild()
+		yi, _ := c.NodeByName("y")
+		e := New(c)
+		// Slot 1 gets pin 0 stuck at 1; slot 0 stays clean.
+		e.SetInjections([]Injection{{Node: yi, Pin: 0, Stuck: logic.One, Mask: 1 << 1}})
+		e.SetPIVector(vec("00")[:c.NumPIs()])
+		e.EvalComb()
+		clean := New(c)
+		clean.SetPIVector(vec("00")[:c.NumPIs()])
+		clean.EvalComb()
+		if e.PO(0).Get(0) != clean.PO(0).Get(0) {
+			t.Errorf("%v: clean slot diverged under injection", k)
+		}
+		// Slot 1 must equal evaluating with a=1.
+		forced := New(c)
+		forced.SetPIVector(vec("10")[:c.NumPIs()])
+		forced.EvalComb()
+		if e.PO(0).Get(1) != forced.PO(0).Get(0) {
+			t.Errorf("%v: injected slot = %v, want %v", k, e.PO(0).Get(1), forced.PO(0).Get(0))
+		}
+	}
+}

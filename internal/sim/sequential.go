@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Trace records the observable behaviour of one scalar sequential run:
+// the primary-output vector at every time unit, and the state after
+// every functional clock.
+type Trace struct {
+	POs    []logic.Vector // POs[u] observed while vector u is applied
+	States []logic.Vector // States[u] = flip-flop contents after clock u
+}
+
+// Final returns the state after the last clock (the value a scan-out at
+// the end of the run would observe), or nil for an empty run.
+func (t *Trace) Final() logic.Vector {
+	if len(t.States) == 0 {
+		return nil
+	}
+	return t.States[len(t.States)-1]
+}
+
+// RunSequence simulates seq on the good machine starting from init
+// (nil means all-X, the power-up state of a non-scan run) and returns the
+// full trace. This is the scalar convenience wrapper around the word
+// engine; it uses slot 0 only.
+func RunSequence(c *circuit.Circuit, init logic.Vector, seq logic.Sequence) *Trace {
+	e := New(c)
+	if init == nil {
+		init = logic.NewVector(c.NumFFs(), logic.X)
+	}
+	e.SetStateVector(init)
+	tr := &Trace{
+		POs:    make([]logic.Vector, 0, len(seq)),
+		States: make([]logic.Vector, 0, len(seq)),
+	}
+	for _, vec := range seq {
+		e.SetPIVector(vec)
+		e.EvalComb()
+		po := make(logic.Vector, c.NumPOs())
+		for i := range c.POs {
+			po[i] = e.PO(i).Get(0)
+		}
+		tr.POs = append(tr.POs, po)
+		e.ClockFF()
+		st := make(logic.Vector, c.NumFFs())
+		for i := range c.DFFs {
+			st[i] = e.State(i).Get(0)
+		}
+		tr.States = append(tr.States, st)
+	}
+	return tr
+}
+
+// EvalCombScalar evaluates the combinational logic once for a scalar
+// (PI, state) pair and returns the PO vector and the next-state vector.
+// This is the "combinational view" of the circuit used by the
+// combinational ATPG: present-state lines are treated as inputs,
+// next-state lines as outputs.
+func EvalCombScalar(c *circuit.Circuit, pi, state logic.Vector) (po, next logic.Vector) {
+	e := New(c)
+	e.SetPIVector(pi)
+	e.SetStateVector(state)
+	e.EvalComb()
+	po = make(logic.Vector, c.NumPOs())
+	for i := range c.POs {
+		po[i] = e.PO(i).Get(0)
+	}
+	ns := e.NextState()
+	next = make(logic.Vector, c.NumFFs())
+	for i := range ns {
+		next[i] = ns[i].Get(0)
+	}
+	return po, next
+}

@@ -1,0 +1,158 @@
+// Package tabfmt renders plain-text tables with aligned columns, used by
+// cmd/tables and EXPERIMENTS.md generation.
+package tabfmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells. Numeric-looking cells are right
+// aligned, everything else left aligned.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as text.
+func (t *Table) Render() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	for i, h := range t.Header {
+		if len(h) > width[i] {
+			width[i] = len(h)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if numeric(c) {
+				sb.WriteString(strings.Repeat(" ", width[i]-len(c)))
+				sb.WriteString(c)
+			} else {
+				sb.WriteString(c)
+				if i < ncol-1 {
+					sb.WriteString(strings.Repeat(" ", width[i]-len(c)))
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for i, w := range width {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// RenderMarkdown formats the table as GitHub-flavored markdown, with
+// right alignment for numeric columns (judged by the first data row).
+func (t *Table) RenderMarkdown() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	cell := func(cells []string, i int) string {
+		if i < len(cells) {
+			return cells[i]
+		}
+		return ""
+	}
+	sb.WriteString("|")
+	for i := 0; i < ncol; i++ {
+		sb.WriteString(" " + cell(t.Header, i) + " |")
+	}
+	sb.WriteString("\n|")
+	for i := 0; i < ncol; i++ {
+		align := "---"
+		if len(t.Rows) > 0 && numeric(cell(t.Rows[0], i)) {
+			align = "--:"
+		}
+		sb.WriteString(align + "|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString("|")
+		for i := 0; i < ncol; i++ {
+			sb.WriteString(" " + cell(r, i) + " |")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// numeric reports whether a cell looks like a number (possibly a range
+// like "1-68" or a dash placeholder).
+func numeric(s string) bool {
+	if s == "" || s == "-" {
+		return s == "-"
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9', r == '.', r == '-', r == '+':
+		default:
+			return false
+		}
+	}
+	return true
+}

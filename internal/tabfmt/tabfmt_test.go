@@ -1,0 +1,111 @@
+package tabfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Title", "name", "count")
+	tb.AddRow("alpha", 5)
+	tb.AddRow("b", 12345)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Numbers right-aligned in a fixed-width column: both data lines must
+	// have equal length.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[3], lines[4])
+	}
+	if !strings.HasSuffix(lines[3], "    5") {
+		t.Errorf("count not right aligned: %q", lines[3])
+	}
+}
+
+func TestRenderFloats(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.Render(), "3.14") {
+		t.Error("floats should render with 2 decimals")
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.Render(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	tb := New("t", "a", "b")
+	out := tb.Render()
+	if !strings.Contains(out, "a  b") {
+		t.Errorf("header missing: %q", out)
+	}
+}
+
+func TestRenderDashPlaceholder(t *testing.T) {
+	tb := New("", "n", "v")
+	tb.AddRow("x", "-")
+	tb.AddRow("y", 100)
+	lines := strings.Split(strings.TrimRight(tb.Render(), "\n"), "\n")
+	// "-" is treated as numeric (right aligned).
+	if !strings.HasSuffix(lines[2], "  -") {
+		t.Errorf("dash not right aligned: %q", lines[2])
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	cases := map[string]bool{
+		"123": true, "1.5": true, "1-68": true, "-": true,
+		"abc": false, "": false, "12a": false, "+3": true,
+	}
+	for s, want := range cases {
+		if numeric(s) != want {
+			t.Errorf("numeric(%q) = %v, want %v", s, !want, want)
+		}
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z")
+	out := tb.Render()
+	if !strings.Contains(out, "only-one") {
+		t.Error("short row lost")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := New("T", "name", "n")
+	tb.AddRow("a", 1)
+	tb.AddRow("b", 22)
+	out := tb.RenderMarkdown()
+	for _, want := range []string{"**T**", "| name | n |", "|---|--:|", "| a | 1 |", "| b | 22 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMarkdownNoTitleEmpty(t *testing.T) {
+	tb := New("", "a")
+	out := tb.RenderMarkdown()
+	if strings.Contains(out, "**") {
+		t.Error("empty title should not render bold marker")
+	}
+	if !strings.Contains(out, "| a |") {
+		t.Error("header missing")
+	}
+}

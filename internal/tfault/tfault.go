@@ -1,0 +1,261 @@
+// Package tfault implements the transition (gate-delay) fault model used
+// to quantify the paper's at-speed claim: scan tests only exercise a
+// circuit at speed during consecutive functional cycles, so test sets
+// with longer primary-input sequences screen more delay defects.
+//
+// A slow-to-rise (slow-to-fall) fault at a line is detected by a pair of
+// consecutive at-speed cycles (u-1, u) such that
+//
+//   - the good machine launches the transition: the line carries 0 (1)
+//     in cycle u-1 and 1 (0) in cycle u, and
+//   - the late value is observable: the corresponding stuck-at fault at
+//     the old value is detected in cycle u — at a primary output, or at
+//     scan-out when u is the test's final cycle (the captured flip-flop
+//     values are shifted out and compared).
+//
+// This is the standard single-capture-frame approximation. Scan shift
+// cycles are not at speed, so a test whose sequence has length 1 can
+// detect no transition fault at all — which is exactly why the paper's
+// long-sequence test sets are better delay screens than the length-1
+// dominated sets of the prior static compaction flow.
+package tfault
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Fault is a transition fault on a node's output: slow-to-rise when Rise
+// is true, slow-to-fall otherwise.
+type Fault struct {
+	Node int
+	Rise bool
+}
+
+// String renders the fault with the circuit's node names.
+func (f Fault) String(c *circuit.Circuit) string {
+	kind := "slow-to-fall"
+	if f.Rise {
+		kind = "slow-to-rise"
+	}
+	return c.Nodes[f.Node].Name + " " + kind
+}
+
+// Universe enumerates the transition faults of c: two per gate, input
+// and flip-flop output (constants excluded, as for stuck-at faults).
+func Universe(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for n := range c.Nodes {
+		switch c.Nodes[n].Kind {
+		case circuit.Const0, circuit.Const1:
+			continue
+		}
+		out = append(out, Fault{Node: n, Rise: true}, Fault{Node: n, Rise: false})
+	}
+	return out
+}
+
+// Simulator grades scan tests against a transition fault list.
+// Not safe for concurrent use.
+type Simulator struct {
+	c      *circuit.Circuit
+	faults []Fault
+	good   *sim.Engine
+	bad    *sim.Engine
+	chain  []int // observed FF positions at scan-out (nil = all)
+
+	// byNode[n] lists fault indices on node n (at most 2).
+	byNode [][]int
+
+	prev []logic.Value // good node values in the previous cycle
+	curv []logic.Value // good node values in the current cycle
+}
+
+// New returns a full-scan transition-fault simulator.
+func New(c *circuit.Circuit, faults []Fault) *Simulator {
+	return NewChain(c, faults, nil)
+}
+
+// NewChain returns a simulator whose scan-out observes only the chain's
+// flip-flops (nil = full scan).
+func NewChain(c *circuit.Circuit, faults []Fault, ch *scan.Chain) *Simulator {
+	s := &Simulator{
+		c:      c,
+		faults: faults,
+		good:   sim.New(c),
+		bad:    sim.New(c),
+		byNode: make([][]int, c.NumNodes()),
+		prev:   make([]logic.Value, c.NumNodes()),
+		curv:   make([]logic.Value, c.NumNodes()),
+	}
+	if ch != nil {
+		s.chain = append([]int(nil), ch.FFs...)
+	}
+	for i, f := range faults {
+		s.byNode[f.Node] = append(s.byNode[f.Node], i)
+	}
+	return s
+}
+
+// NumFaults returns the transition fault universe size.
+func (s *Simulator) NumFaults() int { return len(s.faults) }
+
+// DetectTest returns the transition faults the scan test (si, seq)
+// detects. si is indexed by chain position under partial scan.
+func (s *Simulator) DetectTest(si logic.Vector, seq logic.Sequence, targets *fault.Set) *fault.Set {
+	detected := fault.NewSet(len(s.faults))
+	if len(seq) < 2 {
+		return detected // no consecutive at-speed cycle pair
+	}
+	s.loadState(s.good, si)
+	s.good.SetPIVector(seq[0])
+	s.good.EvalComb()
+	s.snapshot(s.prev)
+
+	// launched accumulates fault indices launched in the current cycle.
+	var launched []int
+	for u := 1; u < len(seq); u++ {
+		s.good.ClockFF()
+		goodState := s.good.StateWords(nil)
+		s.good.SetPIVector(seq[u])
+		s.good.EvalComb()
+		s.snapshot(s.curv)
+
+		launched = launched[:0]
+		for n := range s.byNode {
+			if len(s.byNode[n]) == 0 {
+				continue
+			}
+			pv, cv := s.prev[n], s.curv[n]
+			if !pv.IsBinary() || !cv.IsBinary() || pv == cv {
+				continue
+			}
+			for _, fi := range s.byNode[n] {
+				if detected.Has(fi) {
+					continue
+				}
+				if targets != nil && !targets.Has(fi) {
+					continue
+				}
+				f := s.faults[fi]
+				// Rising launch excites slow-to-rise; falling excites
+				// slow-to-fall.
+				if (cv == logic.One) == f.Rise {
+					launched = append(launched, fi)
+				}
+			}
+		}
+		s.captureFrame(launched, goodState, seq[u], u == len(seq)-1, detected)
+		s.prev, s.curv = s.curv, s.prev
+	}
+	return detected
+}
+
+// DetectSet grades a whole scan test set with fault dropping across
+// tests and returns the union coverage.
+func (s *Simulator) DetectSet(ts *scan.Set) *fault.Set {
+	detected := fault.NewSet(len(s.faults))
+	remaining := fault.NewSet(len(s.faults))
+	for i := range s.faults {
+		remaining.Add(i)
+	}
+	for _, t := range ts.Tests {
+		if remaining.Count() == 0 {
+			break
+		}
+		got := s.DetectTest(t.SI, t.Seq, remaining)
+		detected.UnionWith(got)
+		remaining.SubtractWith(got)
+	}
+	return detected
+}
+
+// captureFrame evaluates one capture cycle for up to 63 launched faults
+// at a time: each behaves as a stuck-at-(old value) fault for this one
+// frame, starting from the good machine's pre-cycle state.
+func (s *Simulator) captureFrame(launched []int, goodState []logic.Word, pi logic.Vector, last bool, detected *fault.Set) {
+	for start := 0; start < len(launched); start += 63 {
+		end := start + 63
+		if end > len(launched) {
+			end = len(launched)
+		}
+		batch := launched[start:end]
+		injs := make([]sim.Injection, 0, len(batch))
+		for bi, fi := range batch {
+			f := s.faults[fi]
+			stuck := logic.One // slow-to-fall holds the old 1
+			if f.Rise {
+				stuck = logic.Zero // slow-to-rise holds the old 0
+			}
+			injs = append(injs, sim.Injection{
+				Node: f.Node, Pin: -1, Stuck: stuck, Mask: 1 << uint(bi+1),
+			})
+		}
+		s.bad.Reset()
+		s.bad.SetInjections(injs)
+		s.bad.LoadStateWords(goodState)
+		s.bad.SetPIVector(pi)
+		s.bad.EvalComb()
+
+		var diff uint64
+		for i := range s.c.POs {
+			w := s.bad.PO(i)
+			diff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+		}
+		if last {
+			ns := s.bad.NextState()
+			if s.chain == nil {
+				for i := range ns {
+					diff |= logic.DiffDefinite(ns[i], ns[i].BroadcastSlot(0))
+				}
+			} else {
+				for _, i := range s.chain {
+					diff |= logic.DiffDefinite(ns[i], ns[i].BroadcastSlot(0))
+				}
+			}
+		}
+		for bi, fi := range batch {
+			if diff&(1<<uint(bi+1)) != 0 {
+				detected.Add(fi)
+			}
+		}
+	}
+}
+
+// loadState performs the scan-in on an engine.
+func (s *Simulator) loadState(e *sim.Engine, si logic.Vector) {
+	e.Reset()
+	nff := s.c.NumFFs()
+	if s.chain == nil {
+		if si == nil {
+			si = logic.NewVector(nff, logic.X)
+		}
+		e.SetStateVector(si)
+		return
+	}
+	e.SetStateVector(logic.NewVector(nff, logic.X))
+	for k, ff := range s.chain {
+		v := logic.X
+		if si != nil && k < len(si) {
+			v = si[k]
+		}
+		e.SetState(ff, logic.FromValue(v))
+	}
+}
+
+func (s *Simulator) snapshot(dst []logic.Value) {
+	for n := range dst {
+		dst[n] = s.good.Val(n).Get(0)
+	}
+}
+
+// Coverage returns |detected| / universe as a fraction.
+func Coverage(detected *fault.Set, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(detected.Count()) / float64(total)
+}

@@ -1,0 +1,133 @@
+// Package vecomit implements static compaction of test sequences by
+// vector omission, in the style of Pomeranz & Reddy [8] ("On Static
+// Compaction of Test Sequences for Synchronous Sequential Circuits",
+// DAC 1996): vectors are tentatively removed one at a time, and a
+// removal is accepted iff fault simulation shows that every fault in a
+// required set is still detected.
+//
+// The engine is used in two roles:
+//
+//   - Phase 2 of the paper's procedure: shorten the PI sequence T_SO of
+//     the scan test (SI, T_SO) without losing any fault of F_SO;
+//   - conditioning the raw sequential-ATPG sequence T_0 (the role the
+//     paper assigns to the vector-restoration compactor [11]).
+//
+// Removals are tried from the last vector toward the first. A risk-set
+// optimization keeps the fault-simulation cost down: removing the vector
+// at position p cannot disturb a detection that happened strictly before
+// p (the prefix is unchanged), so only faults whose earliest detection
+// lies at or after p — plus faults detected only at the final scan-out —
+// need re-simulation. Earliest detection times come from one profiling
+// pass; faults involved in an accepted removal are conservatively marked
+// "always risky" afterwards, which avoids any re-profiling.
+package vecomit
+
+import (
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/scan"
+)
+
+// Options configures the omission loop.
+type Options struct {
+	// MaxPasses bounds the number of full sweeps over the sequence
+	// (0 = default 2). The first sweep does nearly all of the work; a
+	// second sweep catches removals enabled by earlier ones.
+	MaxPasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 2
+	}
+	return o
+}
+
+// Stats reports what one compaction run did.
+type Stats struct {
+	Removed int // vectors omitted
+	Checks  int // fault-simulation checks performed
+}
+
+// CompactTest shortens t's PI sequence while keeping every fault in keep
+// detected by the scan test (scan-in, sequence, scan-out). It returns
+// the compacted test. keep must be detected by t on entry; callers
+// normally pass the detected set of t itself.
+func CompactTest(s *fsim.Simulator, t scan.Test, keep *fault.Set, opt Options) (scan.Test, Stats) {
+	seq, st := compact(s, t.SI, t.Seq, keep, true, opt)
+	return scan.Test{SI: t.SI, Seq: seq}, st
+}
+
+// CompactSequence shortens a no-scan sequence (all-X initial state,
+// primary-output detection only) while keeping every fault in keep
+// detected.
+func CompactSequence(s *fsim.Simulator, seq logic.Sequence, keep *fault.Set, opt Options) (logic.Sequence, Stats) {
+	return compact(s, nil, seq, keep, false, opt)
+}
+
+func compact(s *fsim.Simulator, si logic.Vector, seq logic.Sequence, keep *fault.Set, scanOut bool, opt Options) (logic.Sequence, Stats) {
+	opt = opt.withDefaults()
+	var st Stats
+	if keep == nil || keep.Count() == 0 || len(seq) == 0 {
+		return seq.Clone(), st
+	}
+	cur := seq.Clone()
+
+	// Profile once for earliest PO-detection times. alwaysRisky starts
+	// with the faults that are never PO-detected (scan-out only, or --
+	// defensively -- not detected at all).
+	prof := s.Profile(si, cur, keep)
+	poTime := make([]int, keep.Len())
+	alwaysRisky := fault.NewSet(keep.Len())
+	keep.ForEach(func(f int) {
+		t := prof.PODetectTime(f)
+		poTime[f] = t
+		if t < 0 {
+			alwaysRisky.Add(f)
+		}
+	})
+
+	risk := fault.NewSet(keep.Len())
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		removedThisPass := 0
+		for p := len(cur) - 1; p >= 0; p-- {
+			if len(cur) == 1 && scanOut {
+				break // a scan test keeps at least one vector
+			}
+			risk.Clear()
+			risk.UnionWith(alwaysRisky)
+			keep.ForEach(func(f int) {
+				if poTime[f] >= p {
+					risk.Add(f)
+				}
+			})
+			if risk.Count() == 0 {
+				// Nothing can be disturbed: the removal is free.
+				cur = removeAt(cur, p)
+				st.Removed++
+				removedThisPass++
+				continue
+			}
+			cand := removeAt(cur.Clone(), p)
+			st.Checks++
+			det := s.Detect(cand, fsim.Options{Init: si, ScanOut: scanOut, Targets: risk})
+			if det.ContainsAll(risk) {
+				cur = cand
+				st.Removed++
+				removedThisPass++
+				// Detection times of risk faults may have moved; treat
+				// them as risky for the rest of the run.
+				alwaysRisky.UnionWith(risk)
+			}
+		}
+		if removedThisPass == 0 {
+			break
+		}
+	}
+	return cur, st
+}
+
+func removeAt(seq logic.Sequence, p int) logic.Sequence {
+	return append(seq[:p], seq[p+1:]...)
+}

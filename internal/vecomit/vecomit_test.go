@@ -1,0 +1,173 @@
+package vecomit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/samples"
+	"repro/internal/scan"
+	"repro/internal/seqgen"
+)
+
+func newSim(tb testing.TB) (*fsim.Simulator, []fault.Fault) {
+	tb.Helper()
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	return fsim.New(c, faults), faults
+}
+
+func randTest(r *rand.Rand, nff, npi, l int) scan.Test {
+	si := make(logic.Vector, nff)
+	for i := range si {
+		si[i] = logic.Value(r.Intn(2))
+	}
+	seq := make(logic.Sequence, l)
+	for u := range seq {
+		v := make(logic.Vector, npi)
+		for i := range v {
+			v[i] = logic.Value(r.Intn(2))
+		}
+		seq[u] = v
+	}
+	return scan.Test{SI: si, Seq: seq}
+}
+
+func TestCompactTestKeepsCoverage(t *testing.T) {
+	s, _ := newSim(t)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		tst := randTest(r, 3, 4, 30)
+		keep := s.DetectTest(tst.SI, tst.Seq, nil)
+		if keep.Count() == 0 {
+			continue
+		}
+		out, st := CompactTest(s, tst, keep, Options{})
+		if out.Len() > tst.Len() {
+			t.Fatalf("compaction grew the test: %d -> %d", tst.Len(), out.Len())
+		}
+		got := s.DetectTest(out.SI, out.Seq, nil)
+		if !got.ContainsAll(keep) {
+			t.Fatalf("trial %d: lost coverage (%d -> %d detected, removed %d)",
+				trial, keep.Count(), got.Count(), st.Removed)
+		}
+	}
+}
+
+func TestCompactTestShortensPaddedSequence(t *testing.T) {
+	// A useful test followed by vectors that add nothing: those must go.
+	s, _ := newSim(t)
+	r := rand.New(rand.NewSource(7))
+	base := randTest(r, 3, 4, 4)
+	keep := s.DetectTest(base.SI, base.Seq, nil)
+	if keep.Count() == 0 {
+		t.Skip("seed produced a useless base test")
+	}
+	padded := base.Clone()
+	// Repeat the last vector 10 times: the state cycle gives the suffix
+	// nothing new to detect in most circuits.
+	last := padded.Seq[len(padded.Seq)-1]
+	for i := 0; i < 10; i++ {
+		padded.Seq = append(padded.Seq, last.Clone())
+	}
+	keepPadded := s.DetectTest(padded.SI, padded.Seq, nil)
+	out, st := CompactTest(s, padded, keepPadded, Options{})
+	if out.Len() >= padded.Len() {
+		t.Errorf("no vectors removed from padded test (removed=%d)", st.Removed)
+	}
+	got := s.DetectTest(out.SI, out.Seq, nil)
+	if !got.ContainsAll(keepPadded) {
+		t.Error("lost coverage while removing padding")
+	}
+}
+
+func TestCompactSequenceNoScan(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	res := seqgen.Generate(c, faults, seqgen.Options{Seed: 11, MaxLen: 80})
+	if res.Detected.Count() == 0 {
+		t.Fatal("generator produced nothing to compact against")
+	}
+	out, _ := CompactSequence(s, res.Seq, res.Detected, Options{})
+	if len(out) > len(res.Seq) {
+		t.Fatal("compaction grew the sequence")
+	}
+	got := s.Detect(out, fsim.Options{})
+	if !got.ContainsAll(res.Detected) {
+		t.Errorf("no-scan compaction lost coverage: %d -> %d",
+			res.Detected.Count(), got.Count())
+	}
+}
+
+func TestCompactEmptyInputs(t *testing.T) {
+	s, faults := newSim(t)
+	empty := fault.NewSet(len(faults))
+	tst := scan.Test{SI: logic.NewVector(3, logic.Zero), Seq: logic.Sequence{logic.NewVector(4, logic.Zero)}}
+	out, st := CompactTest(s, tst, empty, Options{})
+	if out.Len() != tst.Len() || st.Removed != 0 {
+		t.Error("empty keep set should be a no-op")
+	}
+	out2, _ := CompactTest(s, scan.Test{SI: tst.SI}, empty, Options{})
+	if out2.Len() != 0 {
+		t.Error("empty sequence should stay empty")
+	}
+	if o, _ := CompactTest(s, tst, nil, Options{}); o.Len() != tst.Len() {
+		t.Error("nil keep set should be a no-op")
+	}
+}
+
+func TestCompactScanTestNeverEmpties(t *testing.T) {
+	// Even when only the scan-out matters (the fault is caught by SI
+	// propagating to state regardless of inputs), the scan test keeps at
+	// least one vector (a scan test needs a capture clock).
+	s, _ := newSim(t)
+	r := rand.New(rand.NewSource(19))
+	tst := randTest(r, 3, 4, 6)
+	keep := s.DetectTest(tst.SI, tst.Seq, nil)
+	if keep.Count() == 0 {
+		t.Skip("useless seed")
+	}
+	out, _ := CompactTest(s, tst, keep, Options{})
+	if out.Len() < 1 {
+		t.Error("scan test compacted to zero vectors")
+	}
+}
+
+func TestCompactDeterministic(t *testing.T) {
+	s, _ := newSim(t)
+	r := rand.New(rand.NewSource(23))
+	tst := randTest(r, 3, 4, 25)
+	keep := s.DetectTest(tst.SI, tst.Seq, nil)
+	a, _ := CompactTest(s, tst, keep, Options{})
+	b, _ := CompactTest(s, tst, keep, Options{})
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic compaction")
+	}
+	for i := range a.Seq {
+		if !a.Seq[i].Equal(b.Seq[i]) {
+			t.Fatal("sequences differ")
+		}
+	}
+}
+
+func TestCompactOnGeneratedCircuit(t *testing.T) {
+	// End-to-end on a synthetic circuit: omission must preserve the
+	// detected set exactly (it may only grow, per [8] §: omission can
+	// increase detections; we require no loss).
+	c := gen.MustGenerate(gen.Params{Name: "t", Seed: 5, PIs: 4, POs: 3, FFs: 8, Gates: 90})
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	res := seqgen.Generate(c, faults, seqgen.Options{Seed: 5, MaxLen: 120})
+	tst := scan.Test{SI: logic.NewVector(c.NumFFs(), logic.Zero), Seq: res.Seq}
+	keep := s.DetectTest(tst.SI, tst.Seq, nil)
+	out, st := CompactTest(s, tst, keep, Options{})
+	got := s.DetectTest(out.SI, out.Seq, nil)
+	if !got.ContainsAll(keep) {
+		t.Errorf("lost coverage: keep=%d got=%d removed=%d", keep.Count(), got.Count(), st.Removed)
+	}
+	t.Logf("len %d -> %d (removed %d, checks %d)", tst.Len(), out.Len(), st.Removed, st.Checks)
+}

@@ -1,0 +1,210 @@
+package verilog
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/samples"
+	"repro/internal/sim"
+)
+
+const mixed = `
+// a small mixed design
+module demo (a, b, clk, y, q);
+  input a, b;
+  input clk;
+  output y, q;
+  wire n1, n2;
+  nand g1 (n1, a, b);
+  not  g2 (n2, n1);
+  xor  g3 (y, n2, a);
+  dff  r1 (.CK(clk), .D(n2), .Q(q));
+endmodule
+`
+
+func TestParseMixed(t *testing.T) {
+	c, err := ParseString(mixed)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s := c.Stats()
+	if s.PIs != 2 || s.POs != 2 || s.FFs != 1 || s.Gates != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if c.Name != "demo" {
+		t.Errorf("name = %q", c.Name)
+	}
+	// clk must not appear as a PI.
+	if _, ok := c.NodeByName("clk"); ok {
+		t.Error("clock net leaked into the circuit model")
+	}
+}
+
+func TestParseBlockCommentAndAnonymousGate(t *testing.T) {
+	text := `module m (a, y);
+  input a;
+  output y;
+  /* block
+     comment */
+  not (y, a);
+endmodule`
+	c, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.NumGates() != 1 {
+		t.Error("anonymous gate instance lost")
+	}
+}
+
+func TestParsePositionalDFF(t *testing.T) {
+	text := `module m (a, clk, q);
+  input a, clk;
+  output q;
+  dff r (q, clk, a);
+endmodule`
+	c, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.NumFFs() != 1 || c.NumPIs() != 1 {
+		t.Errorf("positional dff parse: %s", c.Stats())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":        "input a;\n",
+		"no endmodule":     "module m (a);\ninput a;\n",
+		"unknown gate":     "module m (a, y);\ninput a;\noutput y;\nfrob g (y, a);\nendmodule",
+		"gate no inputs":   "module m (y);\noutput y;\nnot g (y);\nendmodule",
+		"dff missing D":    "module m (clk, q);\ninput clk;\noutput q;\ndff r (.CK(clk), .Q(q));\nendmodule",
+		"dff bad port":     "module m (clk, q);\ninput clk;\noutput q;\ndff r (.CK(clk), .Z(q), .D(q));\nendmodule",
+		"dangling slash":   "module m (a); /",
+		"unterm comment":   "module m (a); /* nope",
+		"bad positional":   "module m (a, q);\ninput a;\noutput q;\ndff r (q, a);\nendmodule",
+		"undefined signal": "module m (a, y);\ninput a;\noutput y;\nand g (y, a, ghost);\nendmodule",
+	}
+	for name, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRoundTripS27(t *testing.T) {
+	orig := samples.S27()
+	text := WriteString(orig)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if back.NumPIs() != orig.NumPIs() || back.NumPOs() != orig.NumPOs() ||
+		back.NumFFs() != orig.NumFFs() || back.NumGates() != orig.NumGates() {
+		t.Fatalf("shape changed:\n%s\nvs\n%s", orig.Stats(), back.Stats())
+	}
+	// Functional equivalence on a few vectors.
+	checkEquivalent(t, orig, back, 20)
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	orig := gen.MustGenerate(gen.Params{Name: "v", Seed: 9, PIs: 5, POs: 4, FFs: 8, Gates: 80})
+	back, err := ParseString(WriteString(orig))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	checkEquivalent(t, orig, back, 20)
+}
+
+func TestRoundTripConstants(t *testing.T) {
+	b := circuit.NewBuilder("k")
+	b.Input("a")
+	b.Const("z", false)
+	b.Const("o", true)
+	b.Gate("y", circuit.And, "a", "o")
+	b.Gate("w", circuit.Or, "a", "z")
+	b.Output("y")
+	b.Output("w")
+	orig := b.MustBuild()
+	back, err := ParseString(WriteString(orig))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, WriteString(orig))
+	}
+	// Structure differs (constants materialize as const+buf) but the
+	// function must match.
+	checkEquivalent(t, orig, back, 4)
+}
+
+// checkEquivalent drives both circuits with the same random-ish input
+// and state values (by PI/FF order) and compares POs and next states.
+func checkEquivalent(t *testing.T, a, b *circuit.Circuit, trials int) {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumFFs() != b.NumFFs() || a.NumPOs() != b.NumPOs() {
+		t.Fatal("interface mismatch")
+	}
+	for trial := 0; trial < trials; trial++ {
+		pi := make(logic.Vector, a.NumPIs())
+		for i := range pi {
+			pi[i] = logic.Value((trial >> uint(i%4)) & 1)
+		}
+		st := make(logic.Vector, a.NumFFs())
+		for i := range st {
+			st[i] = logic.Value((trial >> uint((i+2)%5)) & 1)
+		}
+		poA, nsA := sim.EvalCombScalar(a, pi, st)
+		poB, nsB := sim.EvalCombScalar(b, pi, st)
+		if !poA.Equal(poB) || !nsA.Equal(nsB) {
+			t.Fatalf("trial %d: behaviour differs (po %s vs %s, ns %s vs %s)",
+				trial, poA, poB, nsA, nsB)
+		}
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s27.v")
+	if err := WriteFile(path, samples.S27()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFFs() != 3 {
+		t.Error("file round trip lost flip-flops")
+	}
+	if _, err := ParseFile(filepath.Join(dir, "missing.v")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestCrossFormatBenchToVerilog(t *testing.T) {
+	// The two netlist formats must agree through a conversion chain:
+	// bench text -> circuit -> verilog -> circuit.
+	c1, err := bench.ParseString("s27", bench.WriteString(samples.S27()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(WriteString(c1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, c1, c2, 16)
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("") != "top" {
+		t.Error("empty name should become top")
+	}
+	if got := sanitize("9abc-d"); got != "_abc_d" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if !strings.Contains(WriteString(samples.S27()), "module s27") {
+		t.Error("module name missing")
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden tables file")
+
+// TestGoldenTables pins the full table output of the small test roster
+// bit-for-bit: the entire pipeline is seeded, so any diff means a
+// behavioural change somewhere in the stack (generator, ATPG, sequence
+// search, compaction, cost model, or formatting). Run with -update to
+// accept an intentional change.
+func TestGoldenTables(t *testing.T) {
+	runs := smallRuns(t)
+	got := AllTables(runs)
+	path := filepath.Join("testdata", "golden_tables.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table output drifted from golden file; run with -update if intentional\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

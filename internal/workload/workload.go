@@ -1,0 +1,209 @@
+// Package workload runs the paper's experimental pipeline end to end for
+// one circuit or for the whole roster, and assembles the row data of the
+// paper's Tables 1-5.
+//
+// Per circuit the pipeline is:
+//
+//  1. generate the synthetic substitute netlist (internal/gen roster);
+//  2. collapse the stuck-at fault universe;
+//  3. generate the combinational test set C (internal/atpg, the paper's
+//     [9] substitute);
+//  4. generate the sequential test sequence T_0 (internal/seqgen, the
+//     paper's STRATEGATE/PROPTEST substitute) and compact it with vector
+//     omission (the paper's [11] substitute);
+//  5. run the baselines: the initial and compacted test sets of [4]
+//     (internal/scomp) and the dynamic compaction of [2,3]
+//     (internal/dyncomp);
+//  6. run the proposed procedure with the ATPG T_0 and with a random
+//     T_0 of length 1000 (internal/core).
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/atpg"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dyncomp"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/restore"
+	"repro/internal/scan"
+	"repro/internal/scomp"
+	"repro/internal/seqgen"
+	"repro/internal/vecomit"
+)
+
+// Config tunes the pipeline. The zero value reproduces the paper's
+// setup (random T_0 length 1000; everything else defaulted).
+type Config struct {
+	// Seed offsets every per-circuit seed; 0 keeps the roster defaults.
+	Seed int64
+	// T0MaxLen caps the directed T_0 length (0 = default 300).
+	T0MaxLen int
+	// RandomT0Len is the random-sequence length (0 = the paper's 1000).
+	RandomT0Len int
+	// T0Compactor selects how the directed T_0 is conditioned before the
+	// procedure (the role of [11] in the paper): "omit" (default,
+	// vector omission), "restore" (vector restoration — the literal [11]
+	// algorithm, slower on large keep-sets), or "none".
+	T0Compactor string
+	// SkipRandom skips the random-T_0 arm (Tables 3-5 right columns).
+	SkipRandom bool
+	// SkipDynamic skips the [2,3] dynamic baseline (Table 3 column 1).
+	SkipDynamic bool
+	// Core passes extra options to the proposed procedure.
+	Core core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.T0MaxLen == 0 {
+		c.T0MaxLen = 300
+	}
+	if c.RandomT0Len == 0 {
+		c.RandomT0Len = 1000
+	}
+	// Bound the scan-in selection cost on the larger circuits: score
+	// candidates on a fault sample and a stride over C; the winner is
+	// still evaluated exactly (see core.Options).
+	if c.Core.SIScoreSample == 0 {
+		c.Core.SIScoreSample = 504
+	}
+	if c.Core.SICandidateLimit == 0 {
+		c.Core.SICandidateLimit = 48
+	}
+	if c.Core.MaxIterations == 0 {
+		c.Core.MaxIterations = 5
+	}
+	return c
+}
+
+// CircuitRun holds every artifact produced for one circuit.
+type CircuitRun struct {
+	Entry   gen.RosterEntry
+	Circuit *circuit.Circuit
+	Faults  []fault.Fault
+
+	Comb       *atpg.Result   // the combinational test set C
+	T0         logic.Sequence // directed sequence after [11]-style compaction
+	T0Detected *fault.Set
+
+	Base4Init *scan.Set // [4]'s initial set: C as length-1 scan tests
+	Base4Comp *scan.Set // [4]'s compacted set
+	BaseDyn   *scan.Set // [2,3]-style dynamic compaction (nil if skipped)
+
+	Proposed     *core.Result // proposed procedure, directed T_0
+	ProposedRand *core.Result // proposed procedure, random T_0 (nil if skipped)
+}
+
+// Nsv returns the scanned state variable count.
+func (r *CircuitRun) Nsv() int { return r.Circuit.NumFFs() }
+
+// Run executes the pipeline for one roster entry.
+func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
+	cfg = cfg.withDefaults()
+	ckt, err := gen.Generate(entry.Params)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
+	}
+	faults := fault.Collapse(ckt)
+	seed := entry.Params.Seed + cfg.Seed
+
+	comb, err := atpg.Generate(ckt, faults, atpg.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
+	}
+	if len(comb.Tests) == 0 {
+		return nil, fmt.Errorf("workload %s: empty combinational test set", entry.Params.Name)
+	}
+
+	s := fsim.New(ckt, faults)
+	run := &CircuitRun{Entry: entry, Circuit: ckt, Faults: faults, Comb: comb}
+
+	// Directed T_0, compacted the way [11] conditions the sequences the
+	// paper takes from [10]/[12].
+	t0res := seqgen.Generate(ckt, faults, seqgen.Options{Seed: seed, MaxLen: cfg.T0MaxLen})
+	if len(t0res.Seq) == 0 {
+		return nil, fmt.Errorf("workload %s: empty T0", entry.Params.Name)
+	}
+	t0c := t0res.Seq
+	if len(t0c) <= 800 {
+		switch cfg.T0Compactor {
+		case "", "omit":
+			t0c, _ = vecomit.CompactSequence(s, t0res.Seq, t0res.Detected, vecomit.Options{MaxPasses: 1})
+		case "restore":
+			t0c, _ = restore.Compact(s, t0res.Seq, t0res.Detected, restore.Options{})
+		case "none":
+		default:
+			return nil, fmt.Errorf("workload %s: unknown T0Compactor %q", entry.Params.Name, cfg.T0Compactor)
+		}
+	}
+	run.T0 = t0c
+	run.T0Detected = s.Detect(t0c, fsim.Options{})
+
+	// Baselines.
+	run.Base4Init = scomp.FromCombTests(comb.Tests)
+	run.Base4Comp, _ = scomp.Compact(s, run.Base4Init, scomp.Options{})
+	if !cfg.SkipDynamic {
+		run.BaseDyn, _ = dyncomp.Compact(s, comb.Tests, dyncomp.Options{})
+	}
+
+	// Proposed procedure, both T_0 sources.
+	run.Proposed, err = core.Run(s, comb.Tests, run.T0, cfg.Core)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
+	}
+	if !cfg.SkipRandom {
+		randT0 := seqgen.Random(ckt, cfg.RandomT0Len, seed+1)
+		run.ProposedRand, err = core.Run(s, comb.Tests, randT0, cfg.Core)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s (random T0): %v", entry.Params.Name, err)
+		}
+	}
+	return run, nil
+}
+
+// RunByName runs the pipeline for a roster circuit by name.
+func RunByName(name string, cfg Config) (*CircuitRun, error) {
+	for _, e := range gen.Roster() {
+		if e.Params.Name == name {
+			return Run(e, cfg)
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown roster circuit %q", name)
+}
+
+// RunAll runs the pipeline for the named circuits (nil = whole roster)
+// with the given parallelism (<=0 means 4). Results keep roster order;
+// the first error aborts the batch result but running circuits finish.
+func RunAll(names []string, cfg Config, parallelism int) ([]*CircuitRun, error) {
+	if names == nil {
+		names = gen.RosterNames()
+	}
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	runs := make([]*CircuitRun, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[i], errs[i] = RunByName(name, cfg)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/scan"
+)
+
+// fastCfg keeps the pipeline quick for unit tests.
+func fastCfg() Config {
+	return Config{T0MaxLen: 80, RandomT0Len: 150}
+}
+
+// cachedRuns caches the small-roster pipeline shared by this package's
+// tests (the pipeline is deterministic, so sharing is safe).
+var cachedRuns []*CircuitRun
+
+func smallRuns(tb testing.TB) []*CircuitRun {
+	tb.Helper()
+	if cachedRuns != nil {
+		return cachedRuns
+	}
+	runs, err := RunAll([]string{"b01", "b02", "s298"}, fastCfg(), 2)
+	if err != nil {
+		tb.Fatalf("RunAll: %v", err)
+	}
+	cachedRuns = runs
+	return runs
+}
+
+// setCoverage re-simulates a scan test set and returns its fault coverage.
+func setCoverage(r *CircuitRun, ts *scan.Set) *fault.Set {
+	s := fsim.New(r.Circuit, r.Faults)
+	got := fault.NewSet(len(r.Faults))
+	for _, t := range ts.Tests {
+		got.UnionWith(s.DetectTest(t.SI, t.Seq, nil))
+	}
+	return got
+}
+
+func TestPipelineQualitativeClaims(t *testing.T) {
+	for _, r := range smallRuns(t) {
+		name := r.Entry.Params.Name
+		nsv := r.Nsv()
+		p := r.Proposed
+
+		// Paper claim: the proposed final test set never costs more than
+		// its initial set, and Phase 4 preserves coverage.
+		if p.Final.Cycles(nsv) > p.Initial.Cycles(nsv) {
+			t.Errorf("%s: phase 4 grew cycles", name)
+		}
+		if !p.FinalDetected.ContainsAll(p.InitialDetected) {
+			t.Errorf("%s: phase 4 lost coverage", name)
+		}
+		// Coverage parity with [4]: both flows detect every C-detectable
+		// fault.
+		if !p.FinalDetected.ContainsAll(r.Comb.Detected) {
+			t.Errorf("%s: proposed flow lost C coverage", name)
+		}
+		if !setCoverage(r, r.Base4Comp).ContainsAll(r.Comb.Detected) {
+			t.Errorf("%s: [4] compaction lost coverage", name)
+		}
+		if r.BaseDyn != nil && !setCoverage(r, r.BaseDyn).ContainsAll(r.Comb.Detected) {
+			t.Errorf("%s: dynamic baseline lost coverage", name)
+		}
+		// τ_seq carries most of the final coverage (the paper's headline).
+		frac := float64(p.SeqDetected.Count()) / float64(p.FinalDetected.Count())
+		if frac < 0.5 {
+			t.Errorf("%s: tau_seq fraction %.2f too low", name, frac)
+		}
+		// At-speed sequences are at least comparable to [4]'s on average
+		// (the paper shows them much longer on most circuits).
+		if p.Final.AtSpeed().Average < r.Base4Comp.AtSpeed().Average*0.8 {
+			t.Errorf("%s: proposed at-speed average %.2f below [4]'s %.2f",
+				name, p.Final.AtSpeed().Average, r.Base4Comp.AtSpeed().Average)
+		}
+	}
+}
+
+func TestRandomArmClaims(t *testing.T) {
+	for _, r := range smallRuns(t) {
+		if r.ProposedRand == nil {
+			t.Fatal("random arm missing")
+		}
+		name := r.Entry.Params.Name
+		pr := r.ProposedRand
+		if pr.T0Len != 150 {
+			t.Errorf("%s: random T0 length %d, want 150", name, pr.T0Len)
+		}
+		if !pr.FinalDetected.ContainsAll(r.Comb.Detected) {
+			t.Errorf("%s: random arm lost C coverage", name)
+		}
+	}
+}
+
+func TestRunByNameUnknown(t *testing.T) {
+	if _, err := RunByName("nope", fastCfg()); err == nil {
+		t.Error("unknown circuit must fail")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	runs := smallRuns(t)
+	out := AllTables(runs)
+	for _, want := range []string{
+		"Table 1: Detected faults",
+		"Table 2: Test lengths",
+		"Table 3: Numbers of clock cycles",
+		"Table 4: At-speed test lengths",
+		"Table 5: Results for random sequences",
+		"b01", "s298", "total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestTable3TotalsConsistent(t *testing.T) {
+	runs := smallRuns(t)
+	total := 0
+	for _, r := range runs {
+		total += r.Proposed.Final.Cycles(r.Nsv())
+	}
+	out := Table3(runs).Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "total") {
+		t.Fatalf("no total row: %q", last)
+	}
+	fields := strings.Fields(last)
+	// Columns: total, [2,3], [4]init, [4]comp, prop init, prop comp, ...
+	if len(fields) < 6 {
+		t.Fatalf("total row too short: %q", last)
+	}
+	if fields[5] != strconv.Itoa(total) {
+		t.Errorf("prop comp total = %s, want %d", fields[5], total)
+	}
+}
+
+func TestSkipArms(t *testing.T) {
+	cfg := fastCfg()
+	cfg.SkipRandom = true
+	cfg.SkipDynamic = true
+	r, err := RunByName("b02", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProposedRand != nil || r.BaseDyn != nil {
+		t.Error("skipped arms should be nil")
+	}
+	out := AllTables([]*CircuitRun{r})
+	if !strings.Contains(out, "-") {
+		t.Error("skipped arms should render as dashes")
+	}
+}
+
+func TestRosterEntryMetadata(t *testing.T) {
+	for _, r := range smallRuns(t) {
+		if r.Entry.Scale == 1 && r.Nsv() != r.Entry.PaperFFs {
+			t.Errorf("%s: FF count %d != paper %d", r.Entry.Params.Name, r.Nsv(), r.Entry.PaperFFs)
+		}
+		if r.Circuit == nil || len(r.Faults) == 0 {
+			t.Errorf("%s: missing artifacts", r.Entry.Params.Name)
+		}
+	}
+}
+
+func TestT0CompactorOptions(t *testing.T) {
+	for _, mode := range []string{"omit", "restore", "none"} {
+		cfg := fastCfg()
+		cfg.T0Compactor = mode
+		cfg.SkipRandom, cfg.SkipDynamic = true, true
+		r, err := RunByName("b02", cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(r.T0) == 0 {
+			t.Errorf("%s: empty T0", mode)
+		}
+		if !r.Proposed.FinalDetected.ContainsAll(r.Comb.Detected) {
+			t.Errorf("%s: coverage lost", mode)
+		}
+	}
+	cfg := fastCfg()
+	cfg.T0Compactor = "bogus"
+	if _, err := RunByName("b02", cfg); err == nil {
+		t.Error("unknown compactor must fail")
+	}
+}
+
+func TestTableDelayRender(t *testing.T) {
+	runs := smallRuns(t)
+	out := TableDelay(runs).Render()
+	if !strings.Contains(out, "transition-fault") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + one row per circuit.
+	if len(lines) != 3+len(runs) {
+		t.Errorf("row count = %d, want %d", len(lines)-3, len(runs))
+	}
+	// The [4]-init column is always 0 (length-1 tests launch nothing).
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		if len(f) < 3 || f[2] != "0" {
+			t.Errorf("[4] init column should be 0: %q", l)
+		}
+	}
+}
+
+func TestTablePowerRender(t *testing.T) {
+	runs := smallRuns(t)
+	out := TablePower(runs).Render()
+	if !strings.Contains(out, "test power") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+len(runs) {
+		t.Errorf("row count = %d, want %d", len(lines)-3, len(runs))
+	}
+}
