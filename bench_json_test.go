@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// benchFsimArm is one measured configuration in BENCH_fsim.json.
+type benchFsimArm struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchFsimReport is the schema of BENCH_fsim.json: the serial-vs-
+// parallel comparison of the Table 3 pipeline, plus the hardware context
+// needed to interpret the speedup (on a 1-CPU host the arms tie).
+type benchFsimReport struct {
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	CPUs      int            `json:"cpus"`
+	Workload  string         `json:"workload"`
+	Roster    []string       `json:"roster"`
+	Arms      []benchFsimArm `json:"arms"`
+	Speedup   float64        `json:"speedup"`
+	Identical bool           `json:"identical_tables"`
+}
+
+// TestEmitBenchFsimJSON measures the Table 3 pipeline with the fault-
+// simulation fan-out at workers=1 and workers=NumCPU, checks the two
+// arms render bit-identical tables, and writes BENCH_fsim.json. Gated
+// behind BENCH_FSIM_JSON=1 so regular test runs stay fast.
+func TestEmitBenchFsimJSON(t *testing.T) {
+	if os.Getenv("BENCH_FSIM_JSON") == "" {
+		t.Skip("set BENCH_FSIM_JSON=1 to measure and rewrite BENCH_fsim.json")
+	}
+	rep := benchFsimReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Workload:  "BenchmarkTable3ClockCycles pipeline (workload.RunAll, outer parallelism 1)",
+		Roster:    benchRoster,
+	}
+	var tables []string
+	for _, n := range []int{1, runtime.NumCPU()} {
+		cfg := benchCfg()
+		cfg.Workers = n
+		start := time.Now()
+		runs, err := workload.RunAll(benchRoster, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Arms = append(rep.Arms, benchFsimArm{Workers: n, Seconds: time.Since(start).Seconds()})
+		tables = append(tables, workload.Table3(runs).Render())
+	}
+	rep.Identical = tables[0] == tables[1]
+	if !rep.Identical {
+		t.Error("table output differs between worker counts")
+	}
+	if s := rep.Arms[1].Seconds; s > 0 {
+		rep.Speedup = rep.Arms[0].Seconds / s
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fsim.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("workers=1 %.2fs, workers=%d %.2fs, speedup %.2fx (cpus=%d)",
+		rep.Arms[0].Seconds, rep.Arms[1].Workers, rep.Arms[1].Seconds, rep.Speedup, rep.CPUs)
+}

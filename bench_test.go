@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -79,6 +81,34 @@ func BenchmarkTable3ClockCycles(b *testing.B) {
 			total += r.Proposed.Final.Cycles(r.Nsv())
 		}
 		b.ReportMetric(float64(total), "prop-comp-cycles")
+	}
+}
+
+// BenchmarkTable3ClockCyclesWorkers runs the Table 3 pipeline with the
+// per-run fault-simulation fan-out serial and at NumCPU workers. The
+// rendered table is identical across arms (detection is exact per fault,
+// independent of pass partitioning); only wall-clock differs. The outer
+// circuit-level parallelism is pinned to 1 so the arms measure the inner
+// fan-out alone.
+func BenchmarkTable3ClockCyclesWorkers(b *testing.B) {
+	var serial string
+	for _, n := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg()
+				cfg.Workers = n
+				runs, err := workload.RunAll(benchRoster, cfg, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tab := workload.Table3(runs).Render()
+				if serial == "" {
+					serial = tab
+				} else if tab != serial {
+					b.Fatal("table output differs between worker counts")
+				}
+			}
+		})
 	}
 }
 

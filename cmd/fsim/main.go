@@ -26,6 +26,7 @@ func main() {
 	roster := flag.String("roster", "", "synthetic roster circuit name")
 	testsPath := flag.String("tests", "", "scan test set file (internal/scan text format)")
 	seqPath := flag.String("seq", "", "raw PI sequence file (applied without scan from all-X)")
+	workers := flag.Int("workers", 0, "worker goroutines per simulation run (0 = NumCPU, 1 = serial)")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 	}
 	fmt.Println(c.Stats())
 	faults := fault.Collapse(c)
-	s := fsim.New(c, faults)
+	s := fsim.New(c, faults).SetWorkers(*workers)
 
 	detected := fault.NewSet(len(faults))
 	switch {

@@ -38,6 +38,7 @@ func main() {
 	respOut := flag.String("responses", "", "write expected tester responses to this file")
 	noPhase4 := flag.Bool("nophase4", false, "skip Phase 4 static compaction")
 	scanFFs := flag.Int("scan", 0, "partial scan: scan only the first N flip-flops (0 = full scan)")
+	workers := flag.Int("workers", 0, "worker goroutines per fault-simulation run (0 = NumCPU, 1 = serial)")
 	flag.Parse()
 
 	c, err := cliutil.LoadCircuit(*benchPath, *roster)
@@ -69,7 +70,7 @@ func main() {
 	fmt.Printf("combinational test set C: %d tests, %d detected, %d untestable, %d aborted\n",
 		len(comb.Tests), comb.Detected.Count(), comb.Untestable.Count(), comb.Aborted.Count())
 
-	s := fsim.NewChain(c, faults, chain)
+	s := fsim.NewChain(c, faults, chain).SetWorkers(*workers)
 	var t0 = seqgen.Random(c, *t0len, *seed)
 	if !*randT0 {
 		res := seqgen.Generate(c, faults, seqgen.Options{Seed: *seed, MaxLen: *t0len})

@@ -28,6 +28,7 @@ func main() {
 	markdown := flag.Bool("md", false, "render the tables as markdown")
 	pow := flag.Bool("power", false, "also print the test-power extension table")
 	nodyn := flag.Bool("nodyn", false, "skip the [2,3] dynamic baseline")
+	workers := flag.Int("workers", 1, "worker goroutines per fault-simulation run (0 = NumCPU; -p already parallelizes across circuits)")
 	flag.Parse()
 
 	cfg := workload.Config{
@@ -35,6 +36,10 @@ func main() {
 		RandomT0Len: *randlen,
 		SkipRandom:  *norand,
 		SkipDynamic: *nodyn,
+		Workers:     *workers,
+	}
+	if *workers == 0 {
+		cfg.Workers = -1 // NumCPU
 	}
 	var names []string
 	if flag.NArg() > 0 {

@@ -281,8 +281,14 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 	final, _ := scomp.Compact(s, res.Initial, opt.Static)
 	res.Final = final
 	res.FinalDetected = fault.NewSet(nf)
+	// Drop-on-detect: the union only needs each fault detected once, so
+	// faults covered by earlier tests are excluded from the remaining
+	// simulations.
+	rest := allFaults(nf)
 	for _, t := range final.Tests {
-		res.FinalDetected.UnionWith(s.DetectTest(t.SI, t.Seq, nil))
+		got := s.DetectTest(t.SI, t.Seq, rest)
+		res.FinalDetected.UnionWith(got)
+		rest.SubtractWith(got)
 	}
 	return res, nil
 }
@@ -338,13 +344,7 @@ func phase3(s *fsim.Simulator, C []atpg.CombTest, undet *fault.Set) ([]scan.Test
 	return tests, testDets
 }
 
-func allFaults(n int) *fault.Set {
-	s := fault.NewSet(n)
-	for i := 0; i < n; i++ {
-		s.Add(i)
-	}
-	return s
-}
+func allFaults(n int) *fault.Set { return fault.NewFullSet(n) }
 
 // sampleSet returns a deterministic subset of roughly limit faults,
 // taken at a uniform stride.

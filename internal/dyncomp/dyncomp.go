@@ -58,9 +58,14 @@ func Compact(s *fsim.Simulator, C []atpg.CombTest, opt Options) (*scan.Set, Stat
 	}
 
 	// Coverage goal: everything C detects as length-1 scan tests.
+	// Drop-on-detect: faults already credited to an earlier test are
+	// excluded from the remaining simulations (the union is unchanged).
 	remaining := fault.NewSet(s.NumFaults())
+	undecided := fault.NewFullSet(s.NumFaults())
 	for _, t := range C {
-		remaining.UnionWith(s.DetectTest(t.State, logic.Sequence{t.PI}, nil))
+		got := s.DetectTest(t.State, logic.Sequence{t.PI}, undecided)
+		remaining.UnionWith(got)
+		undecided.SubtractWith(got)
 	}
 
 	// Extending a test moves its scan-out, so the final test may detect

@@ -14,6 +14,18 @@ func NewSet(n int) *Set {
 	return &Set{n: n, words: make([]uint64, (n+63)/64)}
 }
 
+// NewFullSet returns a set over n fault indices containing all of them.
+func NewFullSet(n int) *Set {
+	s := NewSet(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (uint64(1) << r) - 1
+	}
+	return s
+}
+
 // Len returns the universe size the set was created for.
 func (s *Set) Len() int { return s.n }
 
@@ -84,6 +96,11 @@ func (s *Set) Equal(other *Set) bool {
 		}
 	}
 	return true
+}
+
+// CopyFrom overwrites s with the contents of other (same universe size).
+func (s *Set) CopyFrom(other *Set) {
+	copy(s.words, other.words)
 }
 
 // Clear empties the set.

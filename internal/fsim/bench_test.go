@@ -1,7 +1,9 @@
 package fsim
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/fault"
@@ -32,6 +34,35 @@ func BenchmarkDetectScanTest(b *testing.B) {
 		s.DetectTest(si, seq, nil)
 	}
 	b.ReportMetric(float64(s.NumFaults()), "faults")
+}
+
+// BenchmarkDetectScanTestWorkers compares the same scan-test simulation
+// serial (workers=1) against the fan-out at NumCPU workers. The detected
+// set is identical for every worker count; only wall-clock differs.
+func BenchmarkDetectScanTestWorkers(b *testing.B) {
+	for _, n := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			s, seq, si := benchSetup(b)
+			s.SetWorkers(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.DetectTest(si, seq, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectScanTestCachedTrace measures the steady state of the
+// trace cache: after a warm-up run the good-machine trace of (si, seq)
+// is memoized, so every pass packs 64 faults and skips slot-0 broadcasts.
+func BenchmarkDetectScanTestCachedTrace(b *testing.B) {
+	s, seq, si := benchSetup(b)
+	s.DetectTest(si, seq, nil) // mark key seen
+	s.DetectTest(si, seq, nil) // compute + cache the trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.DetectTest(si, seq, nil)
+	}
 }
 
 // BenchmarkDetectNoScan measures grading a sequence from the all-X state.

@@ -2,15 +2,26 @@
 // the parallel-fault method: each pass packs the good machine into slot 0
 // and up to 63 faulty machines into slots 1..63 of the dual-rail word
 // simulator, then replays an input sequence once for the whole pass.
+// When a memoized good-machine trace is available (see the trace cache in
+// tracecache.go), slot 0 is freed for a 64th faulty machine and the good
+// values come from the cache instead.
 //
 // Detection criteria follow standard practice: a fault is detected when a
 // primary output carries definite, differing values in the good and
 // faulty machines at some time unit, or — for scan tests — when the
 // flip-flop state after the final functional clock differs observably
 // (full scan makes every flip-flop observable at scan-out).
+//
+// Simulation passes are independent, so a Simulator can shard them over
+// a pool of workers (SetWorkers); each worker owns a private sim.Engine
+// and detection results are merged after the fan-out.
 package fsim
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -18,13 +29,21 @@ import (
 	"repro/internal/sim"
 )
 
-// batchSize is the number of faulty machines per simulation pass (slot 0
-// is reserved for the good machine).
+// batchSize is the number of faulty machines per simulation pass when
+// slot 0 carries the good machine.
 const batchSize = 63
+
+// batchSizeCached is the number of faulty machines per pass when a
+// memoized good-machine trace frees slot 0 for a 64th fault.
+const batchSizeCached = 64
 
 // Simulator fault-simulates one circuit against a fixed fault list.
 // The fault list order defines fault indices used in all result sets.
-// A Simulator is not safe for concurrent use; create one per goroutine.
+//
+// A Simulator is safe for concurrent use: every simulation run checks a
+// private engine out of an internal pool, and the shared good-machine
+// trace cache is mutex-guarded. SetWorkers additionally shards the
+// passes of a single Detect call over that pool.
 //
 // The simulator carries the circuit's scan configuration: under full
 // scan (New) a scan-in vector addresses every flip-flop and a scan-out
@@ -35,19 +54,27 @@ const batchSize = 63
 type Simulator struct {
 	c        *circuit.Circuit
 	faults   []fault.Fault
-	eng      *sim.Engine
 	chain    []int // scanned FF positions in scan order; nil = full scan
 	observed []int // FF positions compared at scan-out
 
-	// reusable buffers
+	mu      sync.Mutex
+	workers int       // max concurrent passes per run
+	idle    []*worker // checked-in workers
+
+	cache *traceCache
+}
+
+// worker owns the per-goroutine simulation state of one pool member.
+type worker struct {
+	s      *Simulator
+	eng    *sim.Engine
 	injBuf []sim.Injection
-	idxBuf []int
 }
 
 // New returns a full-scan Simulator for c over the given fault list
 // (typically fault.Collapse(c)).
 func New(c *circuit.Circuit, faults []fault.Fault) *Simulator {
-	s := &Simulator{c: c, faults: faults, eng: sim.New(c)}
+	s := &Simulator{c: c, faults: faults, workers: 1, cache: newTraceCache(defaultTraceCacheCap)}
 	s.observed = make([]int, c.NumFFs())
 	for i := range s.observed {
 		s.observed[i] = i
@@ -66,6 +93,46 @@ func NewChain(c *circuit.Circuit, faults []fault.Fault, ch *scan.Chain) *Simulat
 	return s
 }
 
+// SetWorkers sets how many workers a single simulation run may fan its
+// passes out to. n <= 0 selects runtime.NumCPU(). It returns s so the
+// call chains onto New. One worker (the default) keeps runs serial.
+func (s *Simulator) SetWorkers(n int) *Simulator {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+	return s
+}
+
+// Workers returns the configured worker bound.
+func (s *Simulator) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// acquire checks a worker out of the pool, creating one if none is idle.
+func (s *Simulator) acquire() *worker {
+	s.mu.Lock()
+	if n := len(s.idle); n > 0 {
+		w := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return w
+	}
+	s.mu.Unlock()
+	return &worker{s: s, eng: sim.New(s.c)}
+}
+
+// release returns a worker to the pool.
+func (s *Simulator) release(w *worker) {
+	s.mu.Lock()
+	s.idle = append(s.idle, w)
+	s.mu.Unlock()
+}
+
 // Chain returns the scanned flip-flop positions in scan order, or nil
 // under full scan. Do not modify the returned slice.
 func (s *Simulator) Chain() []int { return s.chain }
@@ -79,25 +146,25 @@ func (s *Simulator) Nsv() int {
 	return len(s.chain)
 }
 
-// scanIn loads the scan-in vector: under full scan si is indexed by
-// flip-flop position; under partial scan by chain position, with
-// unscanned flip-flops left X.
-func (s *Simulator) scanIn(si logic.Vector) {
+// scanIn loads the scan-in vector into eng: under full scan si is
+// indexed by flip-flop position; under partial scan by chain position,
+// with unscanned flip-flops left X.
+func (s *Simulator) scanIn(eng *sim.Engine, si logic.Vector) {
 	nff := s.c.NumFFs()
 	if s.chain == nil {
 		if si == nil {
 			si = logic.NewVector(nff, logic.X)
 		}
-		s.eng.SetStateVector(si)
+		eng.SetStateVector(si)
 		return
 	}
-	s.eng.SetStateVector(logic.NewVector(nff, logic.X))
+	eng.SetStateVector(logic.NewVector(nff, logic.X))
 	for k, ff := range s.chain {
 		v := logic.X
 		if si != nil && k < len(si) {
 			v = si[k]
 		}
-		s.eng.SetState(ff, logic.FromValue(v))
+		eng.SetState(ff, logic.FromValue(v))
 	}
 }
 
@@ -131,20 +198,24 @@ type Options struct {
 	Potential *fault.Set
 }
 
+// runSpec carries the per-run parameters shared by every pass of one
+// simulation run. It is read-only during the fan-out.
+type runSpec struct {
+	seq     logic.Sequence
+	init    logic.Vector
+	scanOut bool
+	good    *goodTrace   // memoized good machine; nil = slot 0 carries it
+	profile *Profile     // per-time recording target, or nil
+	abort   *atomic.Bool // cross-pass abort for must-detect checks, or nil
+}
+
 // Detect fault-simulates seq under opt and returns the set of detected
 // faults. Within each pass, simulation stops early once every fault in
 // the pass is detected (unless the scan-out compare could still matter,
 // which it cannot once everything is detected).
 func (s *Simulator) Detect(seq logic.Sequence, opt Options) *fault.Set {
 	detected := fault.NewSet(len(s.faults))
-	targets := s.targetIndices(opt.Targets)
-	for start := 0; start < len(targets); start += batchSize {
-		end := start + batchSize
-		if end > len(targets) {
-			end = len(targets)
-		}
-		s.runBatch(targets[start:end], seq, opt, detected, nil)
-	}
+	s.run(seq, opt, detected, nil, nil)
 	return detected
 }
 
@@ -153,71 +224,217 @@ func (s *Simulator) DetectTest(si logic.Vector, seq logic.Sequence, targets *fau
 	return s.Detect(seq, Options{Init: si, ScanOut: true, Targets: targets})
 }
 
-// AllDetected reports whether the scan test (si, seq) detects every fault
-// in must. It aborts as soon as that becomes impossible... it cannot
-// abort on failure early (absence of detection needs the full run), but
-// it does stop each pass as soon as all its faults are detected.
-func (s *Simulator) AllDetected(si logic.Vector, seq logic.Sequence, must *fault.Set) bool {
-	got := s.DetectTest(si, seq, must)
-	return got.ContainsAll(must)
-}
-
-// targetIndices resolves the target set to a slice of fault indices,
-// reusing an internal buffer.
-func (s *Simulator) targetIndices(targets *fault.Set) []int {
-	s.idxBuf = s.idxBuf[:0]
-	if targets == nil {
-		for i := range s.faults {
-			s.idxBuf = append(s.idxBuf, i)
-		}
-	} else {
-		targets.ForEach(func(i int) { s.idxBuf = append(s.idxBuf, i) })
+// DetectsAll reports whether the run described by opt over seq detects
+// every fault in must (opt.Targets and opt.Potential are overridden).
+// Passes abort early: once a finished pass leaves one of its faults
+// undetected, pending passes are skipped and — with parallel workers —
+// in-flight passes stop at their next time unit. Absence of detection
+// within a single pass still requires replaying that pass to its final
+// observation, so a negative answer costs at least one full pass.
+func (s *Simulator) DetectsAll(seq logic.Sequence, opt Options, must *fault.Set) bool {
+	if must == nil || must.Count() == 0 {
+		return true
 	}
-	return s.idxBuf
+	opt.Targets = must
+	opt.Potential = nil
+	var abort atomic.Bool
+	detected := fault.NewSet(len(s.faults))
+	s.run(seq, opt, detected, nil, &abort)
+	if abort.Load() {
+		return false
+	}
+	return detected.ContainsAll(must)
 }
 
-// runBatch simulates one parallel-fault pass over seq. batch holds the
-// fault indices for slots 1..len(batch). Detections are added to
-// detected. If profile is non-nil, per-time detection data is recorded
-// into it instead of early-exiting.
-func (s *Simulator) runBatch(batch []int, seq logic.Sequence, opt Options, detected *fault.Set, profile *Profile) {
-	eng := s.eng
+// AllDetected reports whether the scan test (si, seq) detects every
+// fault in must, with the early-abort behaviour of DetectsAll.
+func (s *Simulator) AllDetected(si logic.Vector, seq logic.Sequence, must *fault.Set) bool {
+	return s.DetectsAll(seq, Options{Init: si, ScanOut: true}, must)
+}
+
+// targetIndices resolves the target set to a freshly allocated slice of
+// fault indices.
+func (s *Simulator) targetIndices(targets *fault.Set) []int {
+	if targets == nil {
+		idx := make([]int, len(s.faults))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, 0, targets.Count())
+	targets.ForEach(func(i int) { idx = append(idx, i) })
+	return idx
+}
+
+// run executes one simulation run: it resolves the targets, decides the
+// batch geometry (63 faults per pass, or 64 when a memoized good trace
+// frees slot 0), and fans the passes out over the worker pool.
+// Detections are accumulated into detected and — in profile mode —
+// per-time data into profile. A non-nil abort turns the run into a
+// must-detect check: a completed pass with an undetected fault aborts
+// the remaining ones.
+func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, profile *Profile, abort *atomic.Bool) {
+	targets := s.targetIndices(opt.Targets)
+	if len(targets) == 0 {
+		return
+	}
+	spec := &runSpec{seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, abort: abort}
+
+	bs := batchSize
+	if len(seq) > 0 {
+		tr, repeat := s.cache.lookup(opt.Init, seq)
+		switch {
+		case tr != nil:
+			spec.good = tr
+		case repeat && len(targets) > batchSize:
+			// Compute a trace only for keys that recur and runs that span
+			// two or more passes: a repeat makes later hits likely, and
+			// the extra passes amortize the one good-machine replay that
+			// fills the cache. One-shot keys (most compaction candidates)
+			// skip straight to good-in-slot-0 passes.
+			w := s.acquire()
+			spec.good = w.computeGoodTrace(spec.init, seq)
+			s.release(w)
+			s.cache.put(opt.Init, seq, spec.good)
+		}
+	}
+	if spec.good != nil {
+		bs = batchSizeCached
+	}
+	nb := (len(targets) + bs - 1) / bs
+
+	workers := s.Workers()
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		w := s.acquire()
+		defer s.release(w)
+		for k := 0; k < nb; k++ {
+			if abort != nil && abort.Load() {
+				return
+			}
+			batch := targets[k*bs : min((k+1)*bs, len(targets))]
+			w.runBatch(batch, spec, detected, opt.Potential)
+			if abort != nil && !containsAllIdx(detected, batch) {
+				abort.Store(true)
+				return
+			}
+		}
+		return
+	}
+
+	// Parallel fan-out: workers pull pass indices from a shared counter
+	// and collect into private sets, merged once at the end — the hot
+	// path takes no locks.
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := s.acquire()
+			defer s.release(w)
+			local := fault.NewSet(len(s.faults))
+			var localPot *fault.Set
+			if opt.Potential != nil {
+				localPot = fault.NewSet(len(s.faults))
+			}
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= nb {
+					break
+				}
+				if abort != nil && abort.Load() {
+					break
+				}
+				batch := targets[k*bs : min((k+1)*bs, len(targets))]
+				w.runBatch(batch, spec, local, localPot)
+				if abort != nil && !containsAllIdx(local, batch) {
+					abort.Store(true)
+					break
+				}
+			}
+			mu.Lock()
+			detected.UnionWith(local)
+			if localPot != nil {
+				opt.Potential.UnionWith(localPot)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// containsAllIdx reports whether every index in batch is in set.
+func containsAllIdx(set *fault.Set, batch []int) bool {
+	for _, fi := range batch {
+		if !set.Has(fi) {
+			return false
+		}
+	}
+	return true
+}
+
+// runBatch simulates one parallel-fault pass over spec.seq. batch holds
+// the fault indices of the pass; detections are added to detected and
+// potential detections to potential (nil = not collected). In profile
+// mode (spec.profile non-nil) per-time detection data is recorded
+// instead of early-exiting.
+func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault.Set) {
+	s := w.s
+	eng := w.eng
 	eng.Reset()
-	s.injBuf = s.injBuf[:0]
+	w.injBuf = w.injBuf[:0]
+	slot0 := uint(1) // slot of the first faulty machine
+	if spec.good != nil {
+		slot0 = 0 // cached good machine: slot 0 carries a fault too
+	}
 	var batchMask uint64
 	for bi, fi := range batch {
-		mask := uint64(1) << uint(bi+1)
+		mask := uint64(1) << (uint(bi) + slot0)
 		batchMask |= mask
-		s.injBuf = append(s.injBuf, s.faults[fi].Injection(mask))
+		w.injBuf = append(w.injBuf, s.faults[fi].Injection(mask))
 	}
-	eng.SetInjections(s.injBuf)
+	eng.SetInjections(w.injBuf)
 
-	s.scanIn(opt.Init)
+	s.scanIn(eng, spec.init)
 
+	profile := spec.profile
 	var detMask uint64
-	for u, vec := range seq {
+	for u, vec := range spec.seq {
+		if spec.abort != nil && spec.abort.Load() {
+			return // another pass already failed the must-detect check
+		}
 		eng.SetPIVector(vec)
 		eng.EvalComb()
 		var diff, pot uint64
 		for i := range s.c.POs {
-			w := eng.PO(i)
-			g := w.BroadcastSlot(0)
-			diff |= logic.DiffDefinite(w, g)
-			if opt.Potential != nil {
-				pot |= g.Defined() &^ w.Defined()
+			wv := eng.PO(i)
+			var g logic.Word
+			if spec.good != nil {
+				g = spec.good.po[u][i]
+			} else {
+				g = wv.BroadcastSlot(0)
+			}
+			diff |= logic.DiffDefinite(wv, g)
+			if potential != nil {
+				pot |= g.Defined() &^ wv.Defined()
 			}
 		}
 		if pot &= batchMask; pot != 0 {
 			for bi := range batch {
-				if pot&(1<<uint(bi+1)) != 0 {
-					opt.Potential.Add(batch[bi])
+				if pot&(1<<(uint(bi)+slot0)) != 0 {
+					potential.Add(batch[bi])
 				}
 			}
 		}
 		diff &= batchMask &^ detMask
 		if diff != 0 {
 			for bi := range batch {
-				if diff&(1<<uint(bi+1)) != 0 {
+				if diff&(1<<(uint(bi)+slot0)) != 0 {
 					detected.Add(batch[bi])
 					if profile != nil {
 						profile.poDetect[batch[bi]] = int32(u)
@@ -230,44 +447,56 @@ func (s *Simulator) runBatch(batch []int, seq logic.Sequence, opt Options, detec
 		if profile != nil {
 			// Record which faults a scan-out after this clock would catch.
 			var sdiff uint64
-			for _, i := range s.observed {
-				w := eng.State(i)
-				sdiff |= logic.DiffDefinite(w, w.BroadcastSlot(0))
+			for k, ff := range s.observed {
+				wv := eng.State(ff)
+				var g logic.Word
+				if spec.good != nil {
+					g = spec.good.obs[u][k]
+				} else {
+					g = wv.BroadcastSlot(0)
+				}
+				sdiff |= logic.DiffDefinite(wv, g)
 			}
 			sdiff &= batchMask
 			if sdiff != 0 {
 				for bi := range batch {
-					if sdiff&(1<<uint(bi+1)) != 0 {
+					if sdiff&(1<<(uint(bi)+slot0)) != 0 {
 						profile.setStateDiff(batch[bi], u)
 					}
 				}
 			}
 			continue
 		}
-		if detMask == batchMask && opt.Potential == nil {
+		if detMask == batchMask && potential == nil {
 			return // every fault in this pass already detected
 		}
 	}
-	if opt.ScanOut {
+	if spec.scanOut {
+		last := len(spec.seq) - 1
 		var sdiff, spot uint64
-		for _, i := range s.observed {
-			w := eng.State(i)
-			g := w.BroadcastSlot(0)
-			sdiff |= logic.DiffDefinite(w, g)
-			if opt.Potential != nil {
-				spot |= g.Defined() &^ w.Defined()
+		for k, ff := range s.observed {
+			wv := eng.State(ff)
+			var g logic.Word
+			if spec.good != nil && last >= 0 {
+				g = spec.good.obs[last][k]
+			} else {
+				g = wv.BroadcastSlot(0)
+			}
+			sdiff |= logic.DiffDefinite(wv, g)
+			if potential != nil {
+				spot |= g.Defined() &^ wv.Defined()
 			}
 		}
 		if spot &= batchMask; spot != 0 {
 			for bi := range batch {
-				if spot&(1<<uint(bi+1)) != 0 {
-					opt.Potential.Add(batch[bi])
+				if spot&(1<<(uint(bi)+slot0)) != 0 {
+					potential.Add(batch[bi])
 				}
 			}
 		}
 		sdiff &= batchMask &^ detMask
 		for bi := range batch {
-			if sdiff&(1<<uint(bi+1)) != 0 {
+			if sdiff&(1<<(uint(bi)+slot0)) != 0 {
 				detected.Add(batch[bi])
 			}
 		}

@@ -72,14 +72,16 @@ func TestPartialScanInIndexing(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewChain(c, nil, ch)
-	s.scanIn(vec("10"))
-	if got := s.eng.State(2).Get(0); got != logic.One {
+	w := s.acquire()
+	defer s.release(w)
+	s.scanIn(w.eng, vec("10"))
+	if got := w.eng.State(2).Get(0); got != logic.One {
 		t.Errorf("q2 = %v, want 1", got)
 	}
-	if got := s.eng.State(0).Get(0); got != logic.Zero {
+	if got := w.eng.State(0).Get(0); got != logic.Zero {
 		t.Errorf("q0 = %v, want 0", got)
 	}
-	if got := s.eng.State(1).Get(0); got != logic.X {
+	if got := w.eng.State(1).Get(0); got != logic.X {
 		t.Errorf("unscanned q1 = %v, want X", got)
 	}
 }
@@ -88,11 +90,13 @@ func TestPartialScanShortVectorLeavesX(t *testing.T) {
 	c := samples.ShiftReg(3)
 	ch, _ := scan.NewChain(3, []int{0, 1})
 	s := NewChain(c, nil, ch)
-	s.scanIn(vec("1")) // shorter than the chain
-	if s.eng.State(0).Get(0) != logic.One {
+	w := s.acquire()
+	defer s.release(w)
+	s.scanIn(w.eng, vec("1")) // shorter than the chain
+	if w.eng.State(0).Get(0) != logic.One {
 		t.Error("chain position 0 not loaded")
 	}
-	if s.eng.State(1).Get(0) != logic.X {
+	if w.eng.State(1).Get(0) != logic.X {
 		t.Error("missing scan-in position should stay X")
 	}
 }

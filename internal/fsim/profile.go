@@ -39,18 +39,18 @@ func (s *Simulator) Profile(init logic.Vector, seq logic.Sequence, targets *faul
 	for i := range p.poDetect {
 		p.poDetect[i] = -1
 	}
-	idx := s.targetIndices(targets)
-	for _, fi := range idx {
-		p.simulated.Add(fi)
-	}
-	scratch := fault.NewSet(n)
-	for start := 0; start < len(idx); start += batchSize {
-		end := start + batchSize
-		if end > len(idx) {
-			end = len(idx)
+	if targets == nil {
+		for i := 0; i < n; i++ {
+			p.simulated.Add(i)
 		}
-		s.runBatch(idx[start:end], seq, Options{Init: init}, scratch, p)
+	} else {
+		p.simulated.UnionWith(targets)
 	}
+	// Profile data is written per fault, and each fault belongs to
+	// exactly one pass, so the parallel fan-out of run needs no extra
+	// synchronization here. The detected set is scratch in profile mode.
+	scratch := fault.NewSet(n)
+	s.run(seq, Options{Init: init, Targets: targets}, scratch, p, nil)
 	return p
 }
 

@@ -46,6 +46,13 @@ type Options struct {
 	TransferCandidates int
 	// Seed drives transfer-candidate generation.
 	Seed int64
+
+	// NoFaultDrop disables the fault-dropping bookkeeping that derives
+	// each pair's risk set from incrementally maintained detection-count
+	// buckets (faults counted 1 or 2 times) instead of walking both
+	// detected sets. The results are identical either way; the switch
+	// exists for A/B benchmarking.
+	NoFaultDrop bool
 }
 
 // Stats describes one compaction run.
@@ -82,7 +89,8 @@ func Compact(s *fsim.Simulator, ts *scan.Set, opt Options) (*scan.Set, Stats) {
 		tests[i] = t.Clone()
 		det[i] = s.DetectTest(t.SI, t.Seq, nil)
 	}
-	count := make([]int, s.NumFaults())
+	nf := s.NumFaults()
+	count := make([]int, nf)
 	for _, d := range det {
 		d.ForEach(func(f int) { count[f]++ })
 	}
@@ -91,6 +99,33 @@ func Compact(s *fsim.Simulator, ts *scan.Set, opt Options) (*scan.Set, Stats) {
 	for i := range alive {
 		alive[i] = true
 	}
+
+	// Fault dropping: a fault can be at risk for some pair only while
+	// its detection count is 1 or 2 (count - [τ_i detects] - [τ_j
+	// detects] must reach 0). Bucketing those faults once per accepted
+	// combination turns the per-pair risk construction into a handful of
+	// word operations over reusable buffers:
+	//
+	//	risk = (C1 ∩ (d_i ∪ d_j)) ∪ (C2 ∩ d_i ∩ d_j)
+	//
+	// Multiply-detected faults drop out of every candidate simulation
+	// until combinations remove enough of their detectors.
+	c1, c2 := fault.NewSet(nf), fault.NewSet(nf)
+	rebuckets := func() {
+		c1.Clear()
+		c2.Clear()
+		for f, cnt := range count {
+			switch cnt {
+			case 1:
+				c1.Add(f)
+			case 2:
+				c2.Add(f)
+			}
+		}
+	}
+	rebuckets()
+	risk := fault.NewSet(nf)
+	tmp := fault.NewSet(nf)
 
 	for {
 		st.Rounds++
@@ -105,36 +140,47 @@ func Compact(s *fsim.Simulator, ts *scan.Set, opt Options) (*scan.Set, Stats) {
 				}
 				// Faults at risk: detected by τ_i or τ_j and by no other
 				// test in the current set.
-				risk := fault.NewSet(s.NumFaults())
 				di, dj := det[i], det[j]
-				collect := func(f int) {
-					others := count[f]
-					if di.Has(f) {
-						others--
+				if opt.NoFaultDrop {
+					risk.Clear()
+					collect := func(f int) {
+						others := count[f]
+						if di.Has(f) {
+							others--
+						}
+						if dj.Has(f) {
+							others--
+						}
+						if others == 0 {
+							risk.Add(f)
+						}
 					}
-					if dj.Has(f) {
-						others--
-					}
-					if others == 0 {
-						risk.Add(f)
-					}
+					di.ForEach(collect)
+					dj.ForEach(func(f int) {
+						if !di.Has(f) {
+							collect(f)
+						}
+					})
+				} else {
+					risk.CopyFrom(c2)
+					risk.IntersectWith(di)
+					risk.IntersectWith(dj)
+					tmp.CopyFrom(di)
+					tmp.UnionWith(dj)
+					tmp.IntersectWith(c1)
+					risk.UnionWith(tmp)
 				}
-				di.ForEach(collect)
-				dj.ForEach(func(f int) {
-					if !di.Has(f) {
-						collect(f)
-					}
-				})
 
 				combined := scan.Test{
 					SI:  tests[i].SI.Clone(),
 					Seq: append(tests[i].Seq.Clone(), tests[j].Seq.Clone()...),
 				}
 				st.Attempts++
-				// First check the risk set alone (cheap), then compute
-				// the full detected set only on acceptance.
-				got := s.DetectTest(combined.SI, combined.Seq, risk)
-				if !got.ContainsAll(risk) {
+				// Check the risk set alone first: the simulation aborts
+				// across passes as soon as a finished pass leaves a risk
+				// fault undetected, so rejections — the common case —
+				// stay cheap.
+				if !s.AllDetected(combined.SI, combined.Seq, risk) {
 					if opt.TransferLen <= 0 {
 						continue
 					}
@@ -150,22 +196,27 @@ func Compact(s *fsim.Simulator, ts *scan.Set, opt Options) (*scan.Set, Stats) {
 							tests[j].Seq.Clone()...),
 					}
 					st.Attempts++
-					got = s.DetectTest(withX.SI, withX.Seq, risk)
-					if !got.ContainsAll(risk) {
+					if !s.AllDetected(withX.SI, withX.Seq, risk) {
 						continue
 					}
 					combined = withX
 					st.TransferCombined++
 					st.TransferVectors += len(xfer)
 				}
-				union := det[i].Clone()
-				union.UnionWith(det[j])
-				full := s.DetectTest(combined.SI, combined.Seq, union)
+				// Accept path: every risk fault is detected, so only the
+				// rest of the union needs one more simulation (dropping
+				// the risk faults from the second pass).
+				rest := di.Clone()
+				rest.UnionWith(dj)
+				rest.SubtractWith(risk)
+				full := s.DetectTest(combined.SI, combined.Seq, rest)
+				full.UnionWith(risk)
 
-				// Accept: replace τ_i with the combination, kill τ_j.
+				// Replace τ_i with the combination, kill τ_j.
 				det[i].ForEach(func(f int) { count[f]-- })
 				det[j].ForEach(func(f int) { count[f]-- })
 				full.ForEach(func(f int) { count[f]++ })
+				rebuckets()
 				tests[i] = combined
 				det[i] = full
 				alive[j] = false
@@ -208,8 +259,18 @@ func transferSequence(s *fsim.Simulator, from scan.Test, target logic.Vector, op
 		eng.Step()
 	}
 
+	// Resolve the scanned positions once; distanceToTarget runs per
+	// candidate per step and must not rebuild the full-scan chain.
+	chain := s.Chain()
+	if chain == nil {
+		chain = make([]int, c.NumFFs())
+		for i := range chain {
+			chain[i] = i
+		}
+	}
+
 	var out logic.Sequence
-	cur := distanceToTarget(s, eng, target)
+	cur := distanceToTarget(chain, eng, target)
 	for step := 0; step < opt.TransferLen; step++ {
 		if cur == 0 {
 			break
@@ -225,7 +286,7 @@ func transferSequence(s *fsim.Simulator, from scan.Test, target logic.Vector, op
 			eng.LoadStateWords(state)
 			eng.SetPIVector(v)
 			eng.Step()
-			if d := distanceToTarget(s, eng, target); d < bestDist {
+			if d := distanceToTarget(chain, eng, target); d < bestDist {
 				bestDist, bestVec = d, v
 			}
 		}
@@ -262,17 +323,10 @@ func stateForEngine(s *fsim.Simulator, si logic.Vector) logic.Vector {
 	return full
 }
 
-// distanceToTarget counts scanned flip-flops whose current value
+// distanceToTarget counts the chained flip-flops whose current value
 // definitely differs from (or cannot be confirmed equal to) the target
 // scan-in value.
-func distanceToTarget(s *fsim.Simulator, eng *sim.Engine, target logic.Vector) int {
-	chain := s.Chain()
-	if chain == nil {
-		chain = make([]int, s.Circuit().NumFFs())
-		for i := range chain {
-			chain[i] = i
-		}
-	}
+func distanceToTarget(chain []int, eng *sim.Engine, target logic.Vector) int {
 	d := 0
 	for k, ff := range chain {
 		want := logic.X

@@ -83,8 +83,12 @@ func (e *Engine) Reset() {
 
 func (e *Engine) clearInjections() {
 	for _, n := range e.touched {
-		e.outInj[n] = nil
-		e.pinInj[n] = nil
+		// Truncate instead of nil: fault simulation re-injects the same
+		// nodes over and over (one batch after another over one fault
+		// list), so keeping the per-node capacity warm avoids an
+		// allocation per injection per pass.
+		e.outInj[n] = e.outInj[n][:0]
+		e.pinInj[n] = e.pinInj[n][:0]
 		e.outFlag[n] = false
 		e.pinFlag[n] = false
 	}

@@ -111,8 +111,9 @@ func compact(s *fsim.Simulator, si logic.Vector, seq logic.Sequence, keep *fault
 			}
 			cand := removeAt(cur.Clone(), p)
 			st.Checks++
-			det := s.Detect(cand, fsim.Options{Init: si, ScanOut: scanOut, Targets: risk})
-			if det.ContainsAll(risk) {
+			// Must-detect check: aborts remaining passes as soon as one
+			// finished pass leaves a risk fault undetected.
+			if s.DetectsAll(cand, fsim.Options{Init: si, ScanOut: scanOut}, risk) {
 				cur = cand
 				st.Removed++
 				removedThisPass++

@@ -55,6 +55,10 @@ type Config struct {
 	SkipRandom bool
 	// SkipDynamic skips the [2,3] dynamic baseline (Table 3 column 1).
 	SkipDynamic bool
+	// Workers bounds the worker fan-out of each fault-simulation run
+	// (fsim.Simulator.SetWorkers): 0 keeps runs serial, negative selects
+	// runtime.NumCPU(). Results are identical for any value.
+	Workers int
 	// Core passes extra options to the proposed procedure.
 	Core core.Options
 }
@@ -121,6 +125,9 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 	}
 
 	s := fsim.New(ckt, faults)
+	if cfg.Workers != 0 {
+		s.SetWorkers(cfg.Workers)
+	}
 	run := &CircuitRun{Entry: entry, Circuit: ckt, Faults: faults, Comb: comb}
 
 	// Directed T_0, compacted the way [11] conditions the sequences the
