@@ -16,6 +16,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/fsim"
+	"repro/internal/oracle"
 	"repro/internal/scan"
 )
 
@@ -28,6 +29,8 @@ func main() {
 	seqPath := flag.String("seq", "", "raw PI sequence file (applied without scan from all-X)")
 	workers := flag.Int("workers", 0, "worker goroutines per simulation run (0 = NumCPU, 1 = serial)")
 	verbose := flag.Bool("v", false, "list undetected faults")
+	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
+	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
 	flag.Parse()
 
 	c, err := cliutil.LoadCircuit(*benchPath, *roster)
@@ -39,6 +42,8 @@ func main() {
 	s := fsim.New(c, faults).SetWorkers(*workers)
 
 	detected := fault.NewSet(len(faults))
+	var audit func() *oracle.Report
+	auditOpt := oracle.AuditOptions{SampleFaults: *checkSample}
 	switch {
 	case *testsPath != "" && *seqPath != "":
 		log.Fatal("use either -tests or -seq, not both")
@@ -59,6 +64,9 @@ func main() {
 		fmt.Printf("test set: %d tests, %d vectors, %d clock cycles\n",
 			ts.NumTests(), ts.TotalVectors(), ts.Cycles(nsv))
 		fmt.Printf("at-speed lengths: %s\n", ts.AtSpeed())
+		audit = func() *oracle.Report {
+			return oracle.AuditCoverage(c, faults, nil, ts, detected, nil, auditOpt)
+		}
 	case *seqPath != "":
 		f, err := os.Open(*seqPath)
 		if err != nil {
@@ -71,8 +79,18 @@ func main() {
 		}
 		detected = s.Detect(seq, fsim.Options{})
 		fmt.Printf("sequence: %d vectors (applied without scan)\n", len(seq))
+		audit = func() *oracle.Report {
+			return oracle.AuditSequence(c, faults, seq, detected, auditOpt)
+		}
 	default:
 		log.Fatal("need -tests <file> or -seq <file>")
+	}
+	if *check {
+		rep := audit()
+		if !rep.Ok() {
+			log.Fatalf("oracle audit FAILED: %s", rep)
+		}
+		fmt.Printf("oracle audit: %d checks passed\n", rep.Checks)
 	}
 
 	fmt.Printf("fault coverage: %d/%d (%.2f%%)\n",

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fsim"
+	"repro/internal/oracle"
 	"repro/internal/response"
 	"repro/internal/scan"
 	"repro/internal/seqgen"
@@ -39,6 +40,8 @@ func main() {
 	noPhase4 := flag.Bool("nophase4", false, "skip Phase 4 static compaction")
 	scanFFs := flag.Int("scan", 0, "partial scan: scan only the first N flip-flops (0 = full scan)")
 	workers := flag.Int("workers", 0, "worker goroutines per fault-simulation run (0 = NumCPU, 1 = serial)")
+	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
+	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
 	flag.Parse()
 
 	c, err := cliutil.LoadCircuit(*benchPath, *roster)
@@ -81,9 +84,16 @@ func main() {
 	}
 	fmt.Printf("T0: %d vectors\n", len(t0))
 
-	res, err := core.Run(s, comb.Tests, t0, core.Options{SkipStaticCompaction: *noPhase4})
+	coreOpt := core.Options{SkipStaticCompaction: *noPhase4}
+	if *check {
+		coreOpt.Audit = oracle.Auditor(c, faults, chain, oracle.AuditOptions{SampleFaults: *checkSample})
+	}
+	res, err := core.Run(s, comb.Tests, t0, coreOpt)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *check {
+		fmt.Println("oracle audit: passed")
 	}
 	nsv := s.Nsv()
 	sum := res.Summarize(nsv)

@@ -29,6 +29,8 @@ func main() {
 	pow := flag.Bool("power", false, "also print the test-power extension table")
 	nodyn := flag.Bool("nodyn", false, "skip the [2,3] dynamic baseline")
 	workers := flag.Int("workers", 1, "worker goroutines per fault-simulation run (0 = NumCPU; -p already parallelizes across circuits)")
+	check := flag.Bool("check", false, "audit every run against the scalar reference simulator (sampled; slower)")
+	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
 	flag.Parse()
 
 	cfg := workload.Config{
@@ -37,6 +39,8 @@ func main() {
 		SkipRandom:  *norand,
 		SkipDynamic: *nodyn,
 		Workers:     *workers,
+		Check:       *check,
+		CheckSample: *checkSample,
 	}
 	if *workers == 0 {
 		cfg.Workers = -1 // NumCPU
@@ -72,6 +76,9 @@ func main() {
 		if *pow {
 			fmt.Print(workload.TablePower(runs).Render())
 		}
+	}
+	if *check {
+		fmt.Fprintln(os.Stderr, "oracle audit: all runs passed")
 	}
 	fmt.Fprintf(os.Stderr, "completed %d circuits in %v\n", len(runs), time.Since(start).Round(time.Millisecond))
 }

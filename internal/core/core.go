@@ -80,6 +80,14 @@ type Options struct {
 	Omit vecomit.Options
 	// Static configures the Phase 4 engine.
 	Static scomp.Options
+
+	// Audit, when non-nil, is called with the completed Result before Run
+	// returns; a non-nil error fails the run. Package oracle provides an
+	// implementation that re-checks the result's coverage claims against
+	// an independent reference simulator (core cannot import oracle —
+	// oracle builds on fsim, which this package drives — so the hook is
+	// an untyped seam).
+	Audit func(*Result) error
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +117,14 @@ type IterationTrace struct {
 	LenIn       int // L(T_0)
 	LenOut      int // L(T_C) after omission
 	DetectedC   int // |F_C| after omission
+
+	// The fault sets behind the counts above, retained so an auditor can
+	// check the paper's coverage invariants (F_0 ⊆ F_SI ⊆ F_SO ⊆ F_C)
+	// set-for-set rather than count-for-count.
+	F0  *fault.Set // faults detected by T_0 without scan
+	FSI *fault.Set // after scan-in selection (F_0 ∪ scan-test detections)
+	FSO *fault.Set // detected by the prefix up to the scan-out time
+	FC  *fault.Set // detected by τ_C after vector omission
 }
 
 // Result carries every artifact of a full run.
@@ -245,6 +261,10 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 			LenIn:       len(cur),
 			LenOut:      tc.Len(),
 			DetectedC:   fc.Count(),
+			F0:          f0,
+			FSI:         fsi,
+			FSO:         fso,
+			FC:          fc,
 		})
 
 		if opt.UseLastIteration || bestDet == nil || fc.Count() > bestDet.Count() ||
@@ -276,6 +296,11 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 	if opt.SkipStaticCompaction {
 		res.Final = res.Initial.Clone()
 		res.FinalDetected = res.InitialDetected.Clone()
+		if opt.Audit != nil {
+			if err := opt.Audit(res); err != nil {
+				return nil, fmt.Errorf("core: audit failed: %w", err)
+			}
+		}
 		return res, nil
 	}
 	final, _ := scomp.Compact(s, res.Initial, opt.Static)
@@ -289,6 +314,11 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 		got := s.DetectTest(t.SI, t.Seq, rest)
 		res.FinalDetected.UnionWith(got)
 		rest.SubtractWith(got)
+	}
+	if opt.Audit != nil {
+		if err := opt.Audit(res); err != nil {
+			return nil, fmt.Errorf("core: audit failed: %w", err)
+		}
 	}
 	return res, nil
 }

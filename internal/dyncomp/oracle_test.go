@@ -1,0 +1,62 @@
+// External test package: the oracle imports fsim (which dyncomp also
+// drives), so an internal test would create an import cycle.
+package dyncomp_test
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/dyncomp"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/scomp"
+)
+
+// TestCompactCoverageOracle checks the [2,3]-style dynamic compactor
+// against the reference simulator: the produced set must cover — per
+// the oracle, not the fsim instance that built it — every fault the
+// combinational test set covers as length-1 scan tests, and its tests
+// must be structurally valid.
+func TestCompactCoverageOracle(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "dc", Seed: 51, PIs: 4, POs: 3, FFs: 6, Gates: 80})
+	faults := fault.Collapse(c)
+	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fsim.New(c, faults)
+	orc := oracle.New(c, faults)
+
+	// The coverage goal of dynamic compaction: what C detects applied as
+	// length-1 scan tests.
+	goal := orc.DetectSet(scomp.FromCombTests(comb.Tests), nil)
+
+	ts, st := dyncomp.Compact(s, comb.Tests, dyncomp.Options{})
+	if err := ts.Validate(c.NumPIs(), c.NumFFs()); err != nil {
+		t.Fatal(err)
+	}
+	after := orc.DetectSet(ts, nil)
+	if !after.ContainsAll(goal) {
+		missing := goal.Clone()
+		missing.SubtractWith(after)
+		t.Fatalf("dynamic compaction lost %d of %d goal faults (%d tests, %d extensions)",
+			missing.Count(), goal.Count(), st.Tests, st.Extensions)
+	}
+
+	// Per-test detection claims agree between fsim and the oracle.
+	for i, tst := range ts.Tests {
+		fgot := s.DetectTest(tst.SI, tst.Seq, nil)
+		ogot := orc.DetectTest(tst.SI, tst.Seq, nil)
+		if !fgot.Equal(ogot) {
+			t.Fatalf("test %d: fsim and oracle disagree (%d vs %d)", i, fgot.Count(), ogot.Count())
+		}
+		if tst.Len() < 1 {
+			t.Fatalf("test %d is empty", i)
+		}
+		if lv := len(tst.SI); lv != c.NumFFs() && lv != 0 {
+			t.Fatalf("test %d SI width %d", i, lv)
+		}
+	}
+}

@@ -27,15 +27,25 @@ type Engine struct {
 	maxLvl  int
 	touched int // gates evaluated since the last ResetStats
 	toggles int // value changes since the last ResetStats
+
+	// Single stuck-at fault injection (InjectFault). faultNode == -1
+	// means the fault-free machine. One fault per engine keeps the
+	// semantics trivially auditable — this engine is the reference the
+	// parallel-fault simulator is checked against, so it deliberately
+	// trades speed for obviousness.
+	faultNode int
+	faultPin  int
+	faultVal  logic.Value
 }
 
 // New returns an engine with all values X.
 func New(c *circuit.Circuit) *Engine {
 	e := &Engine{
-		c:      c,
-		vals:   make([]logic.Value, c.NumNodes()),
-		dirty:  make([]bool, c.NumNodes()),
-		maxLvl: c.Depth(),
+		c:         c,
+		vals:      make([]logic.Value, c.NumNodes()),
+		dirty:     make([]bool, c.NumNodes()),
+		maxLvl:    c.Depth(),
+		faultNode: -1,
 	}
 	e.levels = make([][]int, e.maxLvl+1)
 	for i := range e.vals {
@@ -98,9 +108,38 @@ func (e *Engine) SetStateVector(vec logic.Vector) {
 	}
 }
 
+// InjectFault installs a single stuck-at fault: pin == -1 forces the
+// output of node, pin >= 0 forces the value node reads from its pin-th
+// fanin. The fault takes effect immediately (the forced line is
+// re-evaluated and its fanout scheduled) and stays active for the life
+// of the engine; an engine carries at most one fault, so the reference
+// fault simulator creates a fresh engine per fault.
+func (e *Engine) InjectFault(node, pin int, stuck logic.Value) {
+	e.faultNode, e.faultPin, e.faultVal = node, pin, stuck
+	if pin < 0 {
+		// Output fault: the line is stuck from time zero.
+		if e.vals[node] != stuck {
+			e.vals[node] = stuck
+			e.toggles++
+			e.scheduleFanout(node)
+		}
+		return
+	}
+	// Pin fault on a gate: re-evaluate it once so the stuck input takes
+	// effect even if no event ever arrives on its other inputs. A pin
+	// fault on a DFF (its D input) is applied by ClockFF instead.
+	if e.c.Nodes[node].Kind != circuit.DFF && !e.dirty[node] {
+		e.dirty[node] = true
+		e.levels[e.c.Level(node)] = append(e.levels[e.c.Level(node)], node)
+	}
+}
+
 func (e *Engine) setSource(n int, v logic.Value) {
 	if v == logic.Z {
 		v = logic.X
+	}
+	if n == e.faultNode && e.faultPin < 0 {
+		v = e.faultVal // stuck source output overrides any drive
 	}
 	if e.vals[n] == v {
 		return
@@ -132,7 +171,7 @@ func (e *Engine) Settle() {
 		e.levels[l] = e.levels[l][:0]
 		for _, n := range queue {
 			e.dirty[n] = false
-			v := e.eval(n)
+			v := e.evalNode(n)
 			e.touched++
 			if v != e.vals[n] {
 				e.vals[n] = v
@@ -141,6 +180,18 @@ func (e *Engine) Settle() {
 			}
 		}
 	}
+}
+
+// evalNode evaluates gate n with the injected fault (if any) applied:
+// an output fault pins the result, a pin fault overrides one input.
+func (e *Engine) evalNode(n int) logic.Value {
+	if n == e.faultNode {
+		if e.faultPin < 0 {
+			return e.faultVal
+		}
+		return e.evalPinFault(n)
+	}
+	return e.eval(n)
 }
 
 func (e *Engine) eval(n int) logic.Value {
@@ -181,6 +232,54 @@ func (e *Engine) eval(n int) logic.Value {
 	return e.vals[n]
 }
 
+// faninVal returns the value gate n reads from its p-th fanin, with the
+// injected pin fault applied.
+func (e *Engine) faninVal(n, p int) logic.Value {
+	if n == e.faultNode && p == e.faultPin {
+		return e.faultVal
+	}
+	return e.vals[e.c.Nodes[n].Fanin[p]]
+}
+
+// evalPinFault is eval for the one gate carrying a pin injection.
+func (e *Engine) evalPinFault(n int) logic.Value {
+	nd := &e.c.Nodes[n]
+	switch nd.Kind {
+	case circuit.Not:
+		return e.faninVal(n, 0).Not()
+	case circuit.Buf:
+		return e.faninVal(n, 0)
+	case circuit.And, circuit.Nand:
+		v := logic.One
+		for p := range nd.Fanin {
+			v = v.And(e.faninVal(n, p))
+		}
+		if nd.Kind == circuit.Nand {
+			v = v.Not()
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := logic.Zero
+		for p := range nd.Fanin {
+			v = v.Or(e.faninVal(n, p))
+		}
+		if nd.Kind == circuit.Nor {
+			v = v.Not()
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := logic.Zero
+		for p := range nd.Fanin {
+			v = v.Xor(e.faninVal(n, p))
+		}
+		if nd.Kind == circuit.Xnor {
+			v = v.Not()
+		}
+		return v
+	}
+	return e.vals[n]
+}
+
 // PO returns the value of the i-th primary output (after Settle).
 func (e *Engine) PO(i int) logic.Value { return e.vals[e.c.POs[i]] }
 
@@ -194,11 +293,20 @@ func (e *Engine) POVector() logic.Vector {
 }
 
 // ClockFF latches D values into the flip-flops and schedules the fanout
-// of any flip-flop whose output changed.
+// of any flip-flop whose output changed. The injected fault applies
+// here too: a stuck D input (pin fault) latches the stuck value, a
+// stuck flip-flop output (output fault) stays stuck across the clock.
 func (e *Engine) ClockFF() {
 	next := make([]logic.Value, e.c.NumFFs())
 	for i, ff := range e.c.DFFs {
-		next[i] = e.vals[e.c.Nodes[ff].Fanin[0]]
+		if ff == e.faultNode && e.faultPin == 0 {
+			next[i] = e.faultVal
+		} else {
+			next[i] = e.vals[e.c.Nodes[ff].Fanin[0]]
+		}
+		if ff == e.faultNode && e.faultPin < 0 {
+			next[i] = e.faultVal
+		}
 	}
 	for i, ff := range e.c.DFFs {
 		if e.vals[ff] != next[i] {

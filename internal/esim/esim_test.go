@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/logic"
 	"repro/internal/samples"
@@ -145,5 +146,91 @@ func TestStatsAccessors(t *testing.T) {
 	e.ResetStats()
 	if e.GatesEvaluated() != 0 {
 		t.Error("ResetStats failed")
+	}
+}
+
+// TestInjectedFaultMatchesWordEngine checks fault-injection semantics
+// against the word engine: for every collapsed fault of several random
+// circuits, an event-driven engine carrying that single fault must agree
+// with the corresponding injected slot of the 64-slot engine on every PO
+// and every flip-flop, cycle by cycle. This is the guarantee the
+// reference fault simulator in internal/oracle builds on.
+func TestInjectedFaultMatchesWordEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		c := gen.MustGenerate(gen.Params{
+			Name: "inj", Seed: int64(50 + trial),
+			PIs: 3 + trial, POs: 3, FFs: 4 + trial, Gates: 40 + 15*trial,
+		})
+		faults := fault.Collapse(c)
+		seq := make(logic.Sequence, 8)
+		for i := range seq {
+			seq[i] = randVec(r, c.NumPIs())
+			if i%3 == 0 {
+				seq[i][r.Intn(len(seq[i]))] = logic.X
+			}
+		}
+		init := randVec(r, c.NumFFs())
+
+		ref := sim.New(c)
+		for fi, fl := range faults {
+			// Word engine: fault in slot 1, good machine in slot 0.
+			ref.Reset()
+			ref.SetInjections([]sim.Injection{fl.Injection(1 << 1)})
+			ref.SetStateVector(init)
+
+			e := New(c)
+			e.InjectFault(fl.Node, fl.Pin, fl.Stuck)
+			e.SetStateVector(init)
+
+			for u, v := range seq {
+				ref.SetPIVector(v)
+				ref.EvalComb()
+				e.SetPIVector(v)
+				e.Settle()
+				for i := range c.POs {
+					want := ref.PO(i).Get(1)
+					if got := e.PO(i); got != want {
+						t.Fatalf("trial %d fault %d (%s) cycle %d PO %d: esim %v, sim %v",
+							trial, fi, fl.String(c), u, i, got, want)
+					}
+				}
+				ref.ClockFF()
+				e.ClockFF()
+				for i := 0; i < c.NumFFs(); i++ {
+					want := ref.State(i).Get(1)
+					if got := e.Val(c.DFFs[i]); got != want {
+						t.Fatalf("trial %d fault %d (%s) cycle %d FF %d: esim %v, sim %v",
+							trial, fi, fl.String(c), u, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInjectFaultImmediateEffect pins the injection-time semantics: an
+// output fault forces its line before any stimulus, and a pin fault
+// re-evaluates its gate even when no event ever reaches it.
+func TestInjectFaultImmediateEffect(t *testing.T) {
+	c := samples.Comb4()
+	y, _ := c.NodeByName("y")
+
+	e := New(c)
+	e.InjectFault(y, -1, logic.One)
+	e.Settle()
+	if e.Val(y) != logic.One {
+		t.Errorf("stuck output not forced before stimulus: %v", e.Val(y))
+	}
+
+	// Pin fault on the XOR's y input: with c=0 the PO p follows the
+	// stuck value even though no input event ever fires.
+	p, _ := c.NodeByName("p")
+	e2 := New(c)
+	e2.InjectFault(p, 0, logic.One)
+	e2.SetPIVector(logic.Vector{logic.Zero, logic.Zero, logic.Zero, logic.Zero})
+	e2.Settle()
+	if e2.PO(1) != logic.One {
+		t.Errorf("pin fault not applied: PO p = %v, want 1", e2.PO(1))
 	}
 }

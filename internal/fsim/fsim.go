@@ -106,6 +106,30 @@ func (s *Simulator) SetWorkers(n int) *Simulator {
 	return s
 }
 
+// SetTraceCacheCap resizes the good-machine trace cache to hold n
+// entries, dropping any cached traces; n <= 0 disables the cache
+// entirely. The cache is purely a performance lever — detection results
+// are identical at any capacity (the differential tests in package
+// oracle assert this under eviction pressure). It returns s so the call
+// chains onto New.
+func (s *Simulator) SetTraceCacheCap(n int) *Simulator {
+	s.mu.Lock()
+	if n <= 0 {
+		s.cache = nil
+	} else {
+		s.cache = newTraceCache(n)
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// traceCacheRef returns the current cache (nil when disabled).
+func (s *Simulator) traceCacheRef() *traceCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache
+}
+
 // Workers returns the configured worker bound.
 func (s *Simulator) Workers() int {
 	s.mu.Lock()
@@ -282,8 +306,9 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 	spec := &runSpec{seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, abort: abort}
 
 	bs := batchSize
+	cache := s.traceCacheRef()
 	if len(seq) > 0 {
-		tr, repeat := s.cache.lookup(opt.Init, seq)
+		tr, repeat := cache.lookup(opt.Init, seq)
 		switch {
 		case tr != nil:
 			spec.good = tr
@@ -296,7 +321,7 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 			w := s.acquire()
 			spec.good = w.computeGoodTrace(spec.init, seq)
 			s.release(w)
-			s.cache.put(opt.Init, seq, spec.good)
+			cache.put(opt.Init, seq, spec.good)
 		}
 	}
 	if spec.good != nil {

@@ -1,0 +1,91 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// TestTraceCacheEvictionPressure checks that detection results are
+// identical with the trace cache disabled and with a capacity of one
+// entry under a workload that thrashes it: several distinct (SI, seq)
+// keys graded round-robin, so every lookup after the first round evicts
+// the previous key's trace and the repeat-gated recompute path runs over
+// and over. Any divergence means cached good-machine values leaked
+// between keys or eviction corrupted the MRU list.
+func TestTraceCacheEvictionPressure(t *testing.T) {
+	s, faults, seq, si := parallelFixture(t)
+	c := s.Circuit()
+	r := rand.New(rand.NewSource(99))
+
+	// Distinct keys: vary both the scan-in state and the sequence.
+	type key struct {
+		si  logic.Vector
+		seq logic.Sequence
+	}
+	keys := []key{{si, seq}}
+	for k := 0; k < 4; k++ {
+		ksi := make(logic.Vector, c.NumFFs())
+		for i := range ksi {
+			ksi[i] = logic.Value(r.Intn(2))
+		}
+		keys = append(keys, key{ksi, randomSeq(r, c.NumPIs(), 10+k)})
+	}
+
+	reference := New(c, faults).SetTraceCacheCap(0) // cache disabled
+	thrash := New(c, faults).SetTraceCacheCap(1)    // constant eviction
+	roomy := New(c, faults).SetTraceCacheCap(len(keys) + 1)
+
+	want := make([]*fault.Set, len(keys))
+	for rounds := 0; rounds < 4; rounds++ {
+		for ki, k := range keys {
+			ref := reference.Detect(k.seq, Options{Init: k.si, ScanOut: true})
+			if want[ki] == nil {
+				want[ki] = ref
+			} else if !ref.Equal(want[ki]) {
+				t.Fatalf("round %d key %d: cache-disabled result unstable", rounds, ki)
+			}
+			if got := thrash.Detect(k.seq, Options{Init: k.si, ScanOut: true}); !got.Equal(ref) {
+				t.Fatalf("round %d key %d: thrashing cache differs (got %d, want %d)",
+					rounds, ki, got.Count(), ref.Count())
+			}
+			if got := roomy.Detect(k.seq, Options{Init: k.si, ScanOut: true}); !got.Equal(ref) {
+				t.Fatalf("round %d key %d: roomy cache differs (got %d, want %d)",
+					rounds, ki, got.Count(), ref.Count())
+			}
+		}
+	}
+
+	// The roomy simulator must actually have cached traces by now; the
+	// thrashing one holds at most a single entry.
+	if n := len(roomy.traceCacheRef().entries); n < 2 {
+		t.Errorf("roomy cache holds %d traces, expected several", n)
+	}
+	if n := len(thrash.traceCacheRef().entries); n > 1 {
+		t.Errorf("thrashing cache holds %d traces, capacity is 1", n)
+	}
+	if reference.traceCacheRef() != nil {
+		t.Error("disabled cache is not nil")
+	}
+}
+
+// TestSetTraceCacheCapMidstream checks that resizing between runs drops
+// cached traces without changing results.
+func TestSetTraceCacheCapMidstream(t *testing.T) {
+	s, _, seq, si := parallelFixture(t)
+	want := s.Detect(seq, Options{Init: si, ScanOut: true})
+	// Grade twice more so the repeat gate computes and caches the trace.
+	for i := 0; i < 2; i++ {
+		if got := s.Detect(seq, Options{Init: si, ScanOut: true}); !got.Equal(want) {
+			t.Fatalf("warm-up run %d differs", i)
+		}
+	}
+	if got := s.SetTraceCacheCap(2).Detect(seq, Options{Init: si, ScanOut: true}); !got.Equal(want) {
+		t.Fatal("result changed after cache resize")
+	}
+	if got := s.SetTraceCacheCap(0).Detect(seq, Options{Init: si, ScanOut: true}); !got.Equal(want) {
+		t.Fatal("result changed after cache disable")
+	}
+}

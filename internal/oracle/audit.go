@@ -1,0 +1,297 @@
+// Invariant checks over pipeline artifacts. An audit re-derives, from
+// first principles and the reference simulator, the properties a
+// pipeline result claims: coverage monotonicity across the paper's
+// phases, test-application cost, detection-set accuracy, and expected
+// tester responses. Full re-simulation of every fault is affordable only
+// on small circuits, so audits sample faults and tests deterministically
+// (uniform stride, like core's scan-in scoring) — a violation anywhere
+// in the sample fails the audit, and the sample is reproducible.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/response"
+	"repro/internal/scan"
+)
+
+// Violation is one failed invariant check.
+type Violation struct {
+	Check  string // short name of the invariant
+	Detail string
+}
+
+func (v Violation) String() string { return v.Check + ": " + v.Detail }
+
+// Report accumulates the outcome of an audit.
+type Report struct {
+	Checks     int // individual assertions evaluated
+	Violations []Violation
+}
+
+func (r *Report) addf(check, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Ok reports whether every check passed.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the audit passed, or an error naming the first
+// violation (and counting the rest).
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	if len(r.Violations) == 1 {
+		return fmt.Errorf("oracle: %s", r.Violations[0])
+	}
+	return fmt.Errorf("oracle: %s (and %d more violations)", r.Violations[0], len(r.Violations)-1)
+}
+
+// Merge folds another report into r.
+func (r *Report) Merge(o *Report) {
+	r.Checks += o.Checks
+	r.Violations = append(r.Violations, o.Violations...)
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d checks, %d violations", r.Checks, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&sb, "\n  %s", v)
+	}
+	return sb.String()
+}
+
+// AuditOptions tunes how much an audit re-simulates.
+type AuditOptions struct {
+	// SampleFaults bounds how many claimed-detected and claimed-undetected
+	// faults are re-simulated per test set (each side gets the budget).
+	// 0 means a default of 32; negative means every fault.
+	SampleFaults int
+	// SampleTests bounds how many tests get a response cross-check.
+	// 0 means a default of 4; negative means every test.
+	SampleTests int
+}
+
+func (o AuditOptions) withDefaults() AuditOptions {
+	if o.SampleFaults == 0 {
+		o.SampleFaults = 32
+	}
+	if o.SampleTests == 0 {
+		o.SampleTests = 4
+	}
+	return o
+}
+
+// sampleIndices returns ~limit members of set at a uniform stride
+// (limit < 0 returns all), so the audited subset is deterministic.
+func sampleIndices(set *fault.Set, limit int) []int {
+	all := set.Indices()
+	if limit < 0 || len(all) <= limit {
+		return all
+	}
+	stride := (len(all) + limit - 1) / limit
+	out := make([]int, 0, limit)
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// auditDetection checks a claimed detection set for a test set against
+// the reference simulator: a sample of claimed-detected faults must be
+// detected, a sample of claimed-undetected faults must not be. Both
+// directions matter — an over-claiming simulator inflates coverage, an
+// under-claiming one inflates test length.
+func (s *Sim) auditDetection(rep *Report, what string, ts *scan.Set, claimed *fault.Set, opt AuditOptions) {
+	undet := fault.NewFullSet(len(s.faults))
+	undet.SubtractWith(claimed)
+	pos := sampleIndices(claimed, opt.SampleFaults)
+	neg := sampleIndices(undet, opt.SampleFaults)
+	targets := fault.FromIndices(len(s.faults), append(append([]int(nil), pos...), neg...))
+	got := s.DetectSet(ts, targets)
+	for _, fi := range pos {
+		rep.Checks++
+		if !got.Has(fi) {
+			rep.addf("detection", "%s: fault %d (%s) claimed detected, oracle disagrees",
+				what, fi, s.faults[fi].String(s.c))
+		}
+	}
+	for _, fi := range neg {
+		rep.Checks++
+		if got.Has(fi) {
+			rep.addf("detection", "%s: fault %d (%s) claimed undetected, oracle detects it",
+				what, fi, s.faults[fi].String(s.c))
+		}
+	}
+}
+
+// auditCycles recomputes the paper's N_cyc = (k+1)·N_SV + Σ L(T_i) from
+// the raw test set — independently of Set.Cycles — and compares.
+func auditCycles(rep *Report, what string, ts *scan.Set, nsv int) {
+	rep.Checks++
+	vectors := 0
+	for _, t := range ts.Tests {
+		vectors += len(t.Seq)
+	}
+	want := 0
+	if len(ts.Tests) > 0 {
+		want = (len(ts.Tests)+1)*nsv + vectors
+	}
+	if got := ts.Cycles(nsv); got != want {
+		rep.addf("cycles", "%s: Set.Cycles(%d) = %d, first-principles N_cyc = %d", what, nsv, got, want)
+	}
+}
+
+// auditResponses cross-checks package response's expected tester
+// responses against the oracle good machine for a sample of tests.
+func (s *Sim) auditResponses(rep *Report, what string, ch *scan.Chain, ts *scan.Set, opt AuditOptions) {
+	stride := 1
+	if opt.SampleTests >= 0 && len(ts.Tests) > opt.SampleTests {
+		stride = (len(ts.Tests) + opt.SampleTests - 1) / opt.SampleTests
+	}
+	for i := 0; i < len(ts.Tests); i += stride {
+		rep.Checks++
+		t := ts.Tests[i]
+		want := s.GoodResponse(t)
+		got := response.Compute(s.c, ch, t)
+		if !responsesEqual(want, got) {
+			rep.addf("response", "%s: test %d: response.Compute disagrees with oracle good machine", what, i)
+		}
+	}
+}
+
+func responsesEqual(a, b response.TestResponse) bool {
+	if len(a.POs) != len(b.POs) || !a.ScanOut.Equal(b.ScanOut) {
+		return false
+	}
+	for u := range a.POs {
+		if !a.POs[u].Equal(b.POs[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditCoverage audits one test set against the coverage it claims:
+// structural validity, cost, and sampled detection accuracy, plus the
+// subset relation between what the set claims and what was required.
+// claimed is the detection set the pipeline computed for ts; required
+// (nil = skip) is a set the pipeline promised to preserve, e.g. the
+// coverage of the test set a compactor started from.
+func AuditCoverage(c *circuit.Circuit, faults []fault.Fault, ch *scan.Chain, ts *scan.Set, claimed, required *fault.Set, opt AuditOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{}
+	s := NewChain(c, faults, ch)
+
+	rep.Checks++
+	if err := ts.Validate(c.NumPIs(), s.Nsv()); err != nil {
+		rep.addf("validate", "%v", err)
+	}
+	auditCycles(rep, "set", ts, s.Nsv())
+	if required != nil {
+		rep.Checks++
+		if !claimed.ContainsAll(required) {
+			missing := required.Clone()
+			missing.SubtractWith(claimed)
+			rep.addf("coverage", "compaction lost %d of %d required faults", missing.Count(), required.Count())
+		}
+	}
+	s.auditDetection(rep, "set", ts, claimed, opt)
+	s.auditResponses(rep, "set", ch, ts, opt)
+	return rep
+}
+
+// AuditSequence audits the claimed detection set of a raw input
+// sequence applied without scan (the paper's T_0 grading): a sample of
+// claimed-detected and claimed-undetected faults is re-simulated on the
+// reference engine.
+func AuditSequence(c *circuit.Circuit, faults []fault.Fault, seq logic.Sequence, claimed *fault.Set, opt AuditOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{}
+	s := New(c, faults)
+	undet := fault.NewFullSet(len(faults))
+	undet.SubtractWith(claimed)
+	pos := sampleIndices(claimed, opt.SampleFaults)
+	neg := sampleIndices(undet, opt.SampleFaults)
+	targets := fault.FromIndices(len(faults), append(append([]int(nil), pos...), neg...))
+	got := s.Detect(seq, Options{Targets: targets})
+	for _, fi := range pos {
+		rep.Checks++
+		if !got.Has(fi) {
+			rep.addf("detection", "sequence: fault %d (%s) claimed detected, oracle disagrees",
+				fi, faults[fi].String(c))
+		}
+	}
+	for _, fi := range neg {
+		rep.Checks++
+		if got.Has(fi) {
+			rep.addf("detection", "sequence: fault %d (%s) claimed undetected, oracle detects it",
+				fi, faults[fi].String(c))
+		}
+	}
+	return rep
+}
+
+// AuditResult audits a full run of the proposed procedure: the phase
+// invariants of the paper (coverage never decreases along
+// F_0 ⊆ F_SI ⊆ F_SO ⊆ F_C, Phase 3 and 4 never lose coverage), the
+// cost model, and sampled oracle re-simulation of the final set.
+func AuditResult(c *circuit.Circuit, faults []fault.Fault, ch *scan.Chain, res *core.Result, opt AuditOptions) *Report {
+	opt = opt.withDefaults()
+	rep := &Report{}
+	s := NewChain(c, faults, ch)
+
+	// Phase 1+2 invariants, iteration by iteration.
+	for i, it := range res.Trace {
+		if it.F0 == nil {
+			continue // trace sets not recorded by this producer
+		}
+		rep.Checks += 3
+		if !it.FSI.ContainsAll(it.F0) {
+			rep.addf("phase1", "iteration %d: F_0 ⊄ F_SI", i)
+		}
+		if !it.FSO.ContainsAll(it.FSI) {
+			rep.addf("phase1", "iteration %d: F_SI ⊄ F_SO (scan-out time loses coverage)", i)
+		}
+		if !it.FC.ContainsAll(it.FSO) {
+			rep.addf("phase2", "iteration %d: F_SO ⊄ F_C (vector omission lost a fault)", i)
+		}
+	}
+
+	// Phase 3 extends τ_seq's coverage; Phase 4 must preserve Phase 3's.
+	rep.Checks += 2
+	if !res.InitialDetected.ContainsAll(res.SeqDetected) {
+		rep.addf("phase3", "initial set loses τ_seq coverage")
+	}
+	if !res.FinalDetected.ContainsAll(res.InitialDetected) {
+		rep.addf("phase4", "static compaction lost coverage (%d → %d)",
+			res.InitialDetected.Count(), res.FinalDetected.Count())
+	}
+
+	rep.Checks++
+	if err := res.Final.Validate(c.NumPIs(), s.Nsv()); err != nil {
+		rep.addf("validate", "%v", err)
+	}
+	auditCycles(rep, "initial", res.Initial, s.Nsv())
+	auditCycles(rep, "final", res.Final, s.Nsv())
+
+	s.auditDetection(rep, "final", res.Final, res.FinalDetected, opt)
+	s.auditResponses(rep, "final", ch, res.Final, opt)
+	return rep
+}
+
+// Auditor returns a core.Options.Audit hook that runs AuditResult and
+// fails the run on any violation.
+func Auditor(c *circuit.Circuit, faults []fault.Fault, ch *scan.Chain, opt AuditOptions) func(*core.Result) error {
+	return func(res *core.Result) error {
+		return AuditResult(c, faults, ch, res, opt).Err()
+	}
+}

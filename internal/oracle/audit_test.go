@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/scomp"
+	"repro/internal/seqgen"
+)
+
+// pipelineFixture runs ATPG + sequential generation for one roster
+// circuit, the shared front half of the audit tests.
+type pipelineFixture struct {
+	c      *gen.RosterEntry
+	faults []fault.Fault
+	comb   *atpg.Result
+	t0     logic.Sequence
+	s      *fsim.Simulator
+}
+
+func buildFixture(t *testing.T, name string) (*fsim.Simulator, []fault.Fault, *atpg.Result, logic.Sequence) {
+	t.Helper()
+	c, ok := gen.RosterCircuit(name)
+	if !ok {
+		t.Fatalf("unknown roster circuit %q", name)
+	}
+	faults := fault.Collapse(c)
+	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := seqgen.Generate(c, faults, seqgen.Options{Seed: 1, MaxLen: 60}).Seq
+	return fsim.New(c, faults), faults, comb, t0
+}
+
+// TestAuditHookPasses runs the full procedure with the oracle wired in
+// through core.Options.Audit: a clean run must produce zero violations.
+func TestAuditHookPasses(t *testing.T) {
+	s, faults, comb, t0 := buildFixture(t, "b01")
+	c := s.Circuit()
+	audited := false
+	opt := core.Options{
+		MaxIterations: 3,
+		Audit: func(res *core.Result) error {
+			audited = true
+			rep := AuditResult(c, faults, nil, res, AuditOptions{})
+			if !rep.Ok() {
+				t.Errorf("audit violations:\n%s", rep)
+			}
+			return rep.Err()
+		},
+	}
+	if _, err := core.Run(s, comb.Tests, t0, opt); err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	if !audited {
+		t.Fatal("audit hook never called")
+	}
+}
+
+// TestAuditResultFullSample audits a run with sampling disabled (every
+// fault, every test) on the smallest roster circuit — the exhaustive
+// version of the check the CLIs run sampled.
+func TestAuditResultFullSample(t *testing.T) {
+	s, faults, comb, t0 := buildFixture(t, "b02")
+	res, err := core.Run(s, comb.Tests, t0, core.Options{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AuditResult(s.Circuit(), faults, nil, res, AuditOptions{SampleFaults: -1, SampleTests: -1})
+	if !rep.Ok() {
+		t.Fatalf("exhaustive audit failed:\n%s", rep)
+	}
+	if rep.Checks == 0 {
+		t.Fatal("audit ran no checks")
+	}
+}
+
+// TestAuditDetectsCorruption corrupts a clean result in ways the audit
+// must catch: a lost fault after Phase 4, and an over-claimed detection.
+func TestAuditDetectsCorruption(t *testing.T) {
+	s, faults, comb, t0 := buildFixture(t, "b02")
+	res, err := core.Run(s, comb.Tests, t0, core.Options{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 4 "loses" coverage: empty the final detection claim.
+	broken := *res
+	broken.FinalDetected = fault.NewSet(len(faults))
+	rep := AuditResult(s.Circuit(), faults, nil, &broken, AuditOptions{})
+	if rep.Ok() {
+		t.Fatal("audit missed a coverage loss after Phase 4")
+	}
+
+	// Over-claim: pretend every fault is detected by the final set.
+	broken = *res
+	broken.FinalDetected = fault.NewFullSet(len(faults))
+	if res.FinalDetected.Count() < len(faults) {
+		rep = AuditResult(s.Circuit(), faults, nil, &broken, AuditOptions{SampleFaults: -1})
+		if rep.Ok() {
+			t.Fatal("audit missed an over-claimed detection set")
+		}
+	}
+
+	// A broken phase invariant: F_SI claims less than F_0.
+	if len(res.Trace) > 0 && res.Trace[0].F0.Count() > 0 {
+		broken = *res
+		broken.Trace = append([]core.IterationTrace(nil), res.Trace...)
+		it := broken.Trace[0]
+		it.FSI = fault.NewSet(len(faults))
+		broken.Trace[0] = it
+		rep = AuditResult(s.Circuit(), faults, nil, &broken, AuditOptions{})
+		if rep.Ok() {
+			t.Fatal("audit missed F_0 ⊄ F_SI")
+		}
+	}
+}
+
+// TestAuditCoverageBaseline audits the [4] baseline: the compacted set
+// must preserve the initial set's coverage, and its claimed detections
+// must match the oracle.
+func TestAuditCoverageBaseline(t *testing.T) {
+	s, faults, comb, _ := buildFixture(t, "b01")
+	c := s.Circuit()
+	initial := scomp.FromCombTests(comb.Tests)
+	compacted, _ := scomp.Compact(s, initial, scomp.Options{})
+
+	claim := func(ts *scan.Set) *fault.Set {
+		got := fault.NewSet(len(faults))
+		for _, tst := range ts.Tests {
+			got.UnionWith(s.DetectTest(tst.SI, tst.Seq, nil))
+		}
+		return got
+	}
+	required := claim(initial)
+	claimed := claim(compacted)
+	rep := AuditCoverage(c, faults, nil, compacted, claimed, required, AuditOptions{})
+	if !rep.Ok() {
+		t.Fatalf("baseline audit failed:\n%s", rep)
+	}
+
+	// Structural corruption: a Z value in a scan-in vector.
+	bad := compacted.Clone()
+	if len(bad.Tests) > 0 && len(bad.Tests[0].SI) > 0 {
+		bad.Tests[0].SI[0] = logic.Z
+		rep = AuditCoverage(c, faults, nil, bad, claimed, nil, AuditOptions{})
+		if rep.Ok() {
+			t.Fatal("audit missed a Z value in a test")
+		}
+	}
+}
+
+// TestValidate covers the scan.Validate satellite directly.
+func TestValidate(t *testing.T) {
+	ok := scan.Test{
+		SI:  logic.Vector{logic.Zero, logic.X},
+		Seq: logic.Sequence{{logic.One, logic.Zero, logic.X}},
+	}
+	if err := ok.Validate(3, 2); err != nil {
+		t.Errorf("valid test rejected: %v", err)
+	}
+	if err := ok.Validate(3, 1); err == nil {
+		t.Error("oversized SI accepted")
+	}
+	if err := ok.Validate(2, 2); err == nil {
+		t.Error("oversized vector accepted")
+	}
+	bad := scan.Test{SI: logic.Vector{logic.Z}}
+	if err := bad.Validate(1, 1); err == nil {
+		t.Error("Z value accepted")
+	}
+	set := scan.NewSet(ok, bad)
+	if err := set.Validate(3, 2); err == nil {
+		t.Error("set with invalid test accepted")
+	}
+}

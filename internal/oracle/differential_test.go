@@ -1,0 +1,120 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/scan"
+)
+
+// sweepCircuits are the roster entries the differential sweep covers —
+// a spread of PI/FF counts so partial scan, wide scan-in vectors and
+// deep sequential propagation all occur.
+var sweepCircuits = []string{"b01", "b02", "b06", "s298", "s344"}
+
+// TestDifferentialSweep is the acceptance sweep: for every roster
+// circuit × seed × scan configuration × worker count, the optimized
+// parallel-fault simulator and the scalar reference must produce
+// identical hard and potential detection sets. Each configuration is
+// graded three times with the same key so the fsim trace cache walks its
+// miss → repeat-miss (trace computed) → hit path; the sets must not
+// change across repetitions.
+func TestDifferentialSweep(t *testing.T) {
+	for _, name := range sweepCircuits {
+		c, ok := gen.RosterCircuit(name)
+		if !ok {
+			t.Fatalf("unknown roster circuit %q", name)
+		}
+		faults := fault.Collapse(c)
+		half := make([]int, 0, c.NumFFs()/2)
+		for i := 0; i < c.NumFFs()/2; i++ {
+			half = append(half, i)
+		}
+		partial, err := scan.NewChain(c.NumFFs(), half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			for ci, chain := range []*scan.Chain{nil, partial} {
+				for _, workers := range []int{1, 4} {
+					cname := "full"
+					if chain != nil {
+						cname = "partial"
+					}
+					t.Run(fmt.Sprintf("%s/seed%d/%s/w%d", name, seed, cname, workers), func(t *testing.T) {
+						t.Parallel()
+						r := rand.New(rand.NewSource(seed*1000 + int64(ci)))
+						fs := fsim.NewChain(c, faults, chain).SetWorkers(workers)
+						orc := NewChain(c, faults, chain)
+
+						si := randVec(r, orc.Nsv(), true)
+						seq := randSeq(r, 8+r.Intn(5), c.NumPIs(), true)
+
+						opot := fault.NewSet(len(faults))
+						want := orc.Detect(seq, Options{Init: si, ScanOut: true, Potential: opot})
+						for rep := 0; rep < 3; rep++ {
+							fpot := fault.NewSet(len(faults))
+							got := fs.Detect(seq, fsim.Options{Init: si, ScanOut: true, Potential: fpot})
+							if !got.Equal(want) {
+								t.Fatalf("rep %d: hard sets differ: fsim %d, oracle %d",
+									rep, got.Count(), want.Count())
+							}
+							if !fpot.Equal(opot) {
+								t.Fatalf("rep %d: potential sets differ: fsim %d, oracle %d",
+									rep, fpot.Count(), opot.Count())
+							}
+							// Standard mode (no Potential) takes the early-exit
+							// paths fsim disables in Potential mode.
+							if got := fs.Detect(seq, fsim.Options{Init: si, ScanOut: true}); !got.Equal(want) {
+								t.Fatalf("rep %d: standard-mode set differs", rep)
+							}
+						}
+
+						// No-scan sequence grading (the T_0 arm of the paper).
+						nsWant := orc.Detect(seq, Options{})
+						if nsGot := fs.Detect(seq, fsim.Options{}); !nsGot.Equal(nsWant) {
+							t.Fatalf("no-scan sets differ: fsim %d, oracle %d",
+								nsGot.Count(), nsWant.Count())
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialGenerated drives the comparison on freshly generated
+// circuits outside the roster, so the sweep is not tied to the roster's
+// generator parameters.
+func TestDifferentialGenerated(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("gen%d", trial), func(t *testing.T) {
+			t.Parallel()
+			c := gen.MustGenerate(gen.Params{
+				Name: fmt.Sprintf("diff%d", trial), Seed: int64(900 + trial),
+				PIs: 2 + trial, POs: 2 + trial%2, FFs: 3 + 2*trial, Gates: 30 + 25*trial,
+			})
+			faults := fault.Collapse(c)
+			fs := fsim.New(c, faults).SetWorkers(1 + trial%2*3)
+			orc := New(c, faults)
+			r := rand.New(rand.NewSource(int64(77 + trial)))
+			for rep := 0; rep < 3; rep++ {
+				si := randVec(r, c.NumFFs(), true)
+				seq := randSeq(r, 6+r.Intn(6), c.NumPIs(), true)
+				fpot := fault.NewSet(len(faults))
+				opot := fault.NewSet(len(faults))
+				got := fs.Detect(seq, fsim.Options{Init: si, ScanOut: true, Potential: fpot})
+				want := orc.Detect(seq, Options{Init: si, ScanOut: true, Potential: opot})
+				if !got.Equal(want) || !fpot.Equal(opot) {
+					t.Fatalf("rep %d: sets differ (hard %d/%d, potential %d/%d)",
+						rep, got.Count(), want.Count(), fpot.Count(), opot.Count())
+				}
+			}
+		})
+	}
+}

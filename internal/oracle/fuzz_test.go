@@ -1,0 +1,103 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/samples"
+	"repro/internal/scan"
+)
+
+// corpusTest builds a deterministic seed test for a sample circuit.
+func corpusTest(c *circuit.Circuit, cycles int) scan.Test {
+	t := scan.Test{SI: make(logic.Vector, c.NumFFs())}
+	for i := range t.SI {
+		t.SI[i] = logic.Value(i % 2)
+	}
+	for u := 0; u < cycles; u++ {
+		v := make(logic.Vector, c.NumPIs())
+		for i := range v {
+			v[i] = logic.Value((u + i) % 3 % 2)
+			if (u+i)%5 == 4 {
+				v[i] = logic.X
+			}
+		}
+		t.Seq = append(t.Seq, v)
+	}
+	return t
+}
+
+func corpusCircuits() []*circuit.Circuit {
+	return []*circuit.Circuit{
+		samples.S27(), samples.Toggle(), samples.ShiftReg(3), samples.Comb4(),
+	}
+}
+
+// TestFuzzEncodeRoundtrip checks that the corpus seeds decode back to
+// behaviorally identical circuits: same interface counts and the same
+// good-machine response on the encoded test.
+func TestFuzzEncodeRoundtrip(t *testing.T) {
+	for _, c := range corpusCircuits() {
+		tst := corpusTest(c, 5)
+		data, err := EncodeFuzz(c, tst)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.Name, err)
+		}
+		dc, dt, err := DecodeFuzz(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.Name, err)
+		}
+		if dc.NumPIs() != c.NumPIs() || dc.NumFFs() != c.NumFFs() || dc.NumPOs() != c.NumPOs() {
+			t.Fatalf("%s: interface changed: %d/%d/%d → %d/%d/%d", c.Name,
+				c.NumPIs(), c.NumFFs(), c.NumPOs(), dc.NumPIs(), dc.NumFFs(), dc.NumPOs())
+		}
+		want := New(c, nil).GoodResponse(tst)
+		got := New(dc, nil).GoodResponse(dt)
+		if !responsesEqual(want, got) {
+			t.Fatalf("%s: decoded circuit responds differently", c.Name)
+		}
+	}
+}
+
+// FuzzDifferential cross-checks fsim against the oracle on fuzzer-shaped
+// circuits and tests, in both standard and Potential mode, serial and
+// with a worker pool. Any byte string is a valid input; the decoder
+// guarantees a well-formed netlist.
+func FuzzDifferential(f *testing.F) {
+	for _, c := range corpusCircuits() {
+		if data, err := EncodeFuzz(c, corpusTest(c, 6)); err == nil {
+			f.Add(data)
+		} else {
+			f.Fatalf("%s: corpus encode: %v", c.Name, err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, tst, err := DecodeFuzz(data)
+		if err != nil {
+			t.Skip()
+		}
+		faults := fault.Collapse(c)
+		orc := New(c, faults)
+		opot := fault.NewSet(len(faults))
+		want := orc.Detect(tst.Seq, Options{Init: tst.SI, ScanOut: true, Potential: opot})
+		for _, workers := range []int{1, 4} {
+			fs := fsim.New(c, faults).SetWorkers(workers)
+			fpot := fault.NewSet(len(faults))
+			got := fs.Detect(tst.Seq, fsim.Options{Init: tst.SI, ScanOut: true, Potential: fpot})
+			if !got.Equal(want) {
+				t.Fatalf("workers=%d: hard sets differ: fsim %v, oracle %v",
+					workers, got.Indices(), want.Indices())
+			}
+			if !fpot.Equal(opot) {
+				t.Fatalf("workers=%d: potential sets differ: fsim %v, oracle %v",
+					workers, fpot.Indices(), opot.Indices())
+			}
+			if got := fs.Detect(tst.Seq, fsim.Options{Init: tst.SI, ScanOut: true}); !got.Equal(want) {
+				t.Fatalf("workers=%d: standard-mode set differs", workers)
+			}
+		}
+	})
+}

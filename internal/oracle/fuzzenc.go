@@ -1,0 +1,251 @@
+// Compact byte encoding of a (circuit, scan test) pair for fuzzing.
+// The decoder maps any byte string onto a valid sequential circuit —
+// out-of-range indices wrap, fanin always references an earlier signal,
+// so the result is acyclic by construction — which lets the fuzzer
+// mutate freely without tripping over netlist validation. The encoder
+// inverts the mapping for known circuits so the corpus can be seeded
+// from internal/samples.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/scan"
+)
+
+// Encoding bounds: small circuits find semantic disagreements as well
+// as big ones and keep per-input fuzz cost low.
+const (
+	fuzzMaxPIs   = 6
+	fuzzMaxFFs   = 6
+	fuzzMaxGates = 24
+	fuzzMaxPOs   = 4
+	fuzzMaxSeq   = 12
+)
+
+// fuzzKinds is the gate alphabet; a kind byte indexes it modulo len.
+var fuzzKinds = []circuit.Kind{
+	circuit.And, circuit.Or, circuit.Nand, circuit.Nor,
+	circuit.Not, circuit.Buf, circuit.Xor, circuit.Xnor,
+}
+
+// decodeCircuit reads the circuit header and body. Layout:
+//
+//	[nPI nFF nGate nPO]                      counts, wrapped into bounds
+//	nGate × [kind srcA srcB]                 gates; sources index the
+//	                                         signal list PIs‖FFs‖gates so
+//	                                         far, modulo its length
+//	nFF   × [src]                            flip-flop D inputs (any signal)
+//	nPO   × [src]                            primary outputs (any signal)
+//
+// A short buffer decodes as if padded with zeros.
+func decodeCircuit(data []byte, pos *int) (*circuit.Circuit, error) {
+	next := func() byte {
+		if *pos >= len(data) {
+			return 0
+		}
+		b := data[*pos]
+		*pos++
+		return b
+	}
+	npi := 1 + int(next())%fuzzMaxPIs
+	nff := int(next()) % (fuzzMaxFFs + 1)
+	ngate := 1 + int(next())%fuzzMaxGates
+	npo := 1 + int(next())%fuzzMaxPOs
+
+	b := circuit.NewBuilder("fuzz")
+	var signals []string
+	for i := 0; i < npi; i++ {
+		n := fmt.Sprintf("i%d", i)
+		b.Input(n)
+		signals = append(signals, n)
+	}
+	for i := 0; i < nff; i++ {
+		signals = append(signals, fmt.Sprintf("q%d", i))
+	}
+	// Gates reference only already-listed signals, so the combinational
+	// part is acyclic; DFF D inputs close the sequential loops later.
+	ffd := make([]string, nff)
+	gateNames := make([]string, 0, ngate)
+	for i := 0; i < ngate; i++ {
+		kind := fuzzKinds[int(next())%len(fuzzKinds)]
+		a := signals[int(next())%len(signals)]
+		n := fmt.Sprintf("g%d", i)
+		if kind == circuit.Not || kind == circuit.Buf {
+			next() // keep the layout fixed-width per gate
+			b.Gate(n, kind, a)
+		} else {
+			b.Gate(n, kind, a, signals[int(next())%len(signals)])
+		}
+		signals = append(signals, n)
+		gateNames = append(gateNames, n)
+	}
+	for i := 0; i < nff; i++ {
+		ffd[i] = signals[int(next())%len(signals)]
+	}
+	for i := 0; i < nff; i++ {
+		b.DFF(fmt.Sprintf("q%d", i), ffd[i])
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < npo; i++ {
+		n := gateNames[int(next())%len(gateNames)]
+		if seen[n] {
+			continue // duplicate POs carry no information
+		}
+		seen[n] = true
+		b.Output(n)
+	}
+	return b.Build()
+}
+
+// decodeTest reads a scan test shaped for c: [seqLen] + nFF SI bytes +
+// seqLen × nPI vector bytes, each byte %3 → {0, 1, X}.
+func decodeTest(data []byte, pos *int, c *circuit.Circuit) scan.Test {
+	next := func() byte {
+		if *pos >= len(data) {
+			return 0
+		}
+		b := data[*pos]
+		*pos++
+		return b
+	}
+	val := func() logic.Value {
+		switch next() % 3 {
+		case 0:
+			return logic.Zero
+		case 1:
+			return logic.One
+		}
+		return logic.X
+	}
+	seqLen := 1 + int(next())%fuzzMaxSeq
+	t := scan.Test{SI: make(logic.Vector, c.NumFFs())}
+	for i := range t.SI {
+		t.SI[i] = val()
+	}
+	for u := 0; u < seqLen; u++ {
+		v := make(logic.Vector, c.NumPIs())
+		for i := range v {
+			v[i] = val()
+		}
+		t.Seq = append(t.Seq, v)
+	}
+	return t
+}
+
+// DecodeFuzz maps an arbitrary byte string onto a circuit and a scan
+// test for it. Only pathological inputs fail (e.g. a decoded gate graph
+// the builder rejects), and none are known; the error return keeps the
+// fuzz target honest about skipping.
+func DecodeFuzz(data []byte) (*circuit.Circuit, scan.Test, error) {
+	pos := 0
+	c, err := decodeCircuit(data, &pos)
+	if err != nil {
+		return nil, scan.Test{}, err
+	}
+	t := decodeTest(data, &pos, c)
+	return c, t, nil
+}
+
+// EncodeFuzz inverts DecodeFuzz for a circuit within the encoding
+// bounds, producing a corpus seed that decodes back to an isomorphic
+// netlist plus the given test. Circuits outside the bounds (too many
+// PIs, gates with fanin > 2, constant nodes) cannot be encoded.
+func EncodeFuzz(c *circuit.Circuit, t scan.Test) ([]byte, error) {
+	npi, nff, npo := c.NumPIs(), c.NumFFs(), c.NumPOs()
+	var gates []int
+	for _, n := range c.EvalOrder() {
+		if c.Nodes[n].Kind.IsGate() {
+			gates = append(gates, n)
+		}
+	}
+	if npi < 1 || npi > fuzzMaxPIs || nff > fuzzMaxFFs ||
+		len(gates) < 1 || len(gates) > fuzzMaxGates || npo < 1 || npo > fuzzMaxPOs {
+		return nil, fmt.Errorf("oracle: circuit %s outside fuzz encoding bounds", c.Name)
+	}
+	// Signal index space of the decoder: PIs, then FFs, then gates in
+	// evaluation order.
+	sigIdx := make(map[int]int)
+	for i, n := range c.PIs {
+		sigIdx[n] = i
+	}
+	for i, n := range c.DFFs {
+		sigIdx[n] = npi + i
+	}
+	kindIdx := make(map[circuit.Kind]int)
+	for i, k := range fuzzKinds {
+		kindIdx[k] = i
+	}
+
+	out := []byte{byte(npi - 1), byte(nff), byte(len(gates) - 1), byte(npo - 1)}
+	gatePos := make(map[int]int) // node → position in the gate list
+	for i, n := range gates {
+		gatePos[n] = i
+	}
+	for i, n := range gates {
+		nd := &c.Nodes[n]
+		ki, ok := kindIdx[nd.Kind]
+		if !ok || len(nd.Fanin) > 2 {
+			return nil, fmt.Errorf("oracle: gate %s not encodable", nd.Name)
+		}
+		a, ok := sigIdx[nd.Fanin[0]]
+		if !ok {
+			return nil, fmt.Errorf("oracle: gate %s fanin not yet defined", nd.Name)
+		}
+		bsrc := 0
+		if len(nd.Fanin) == 2 {
+			bsrc, ok = sigIdx[nd.Fanin[1]]
+			if !ok {
+				return nil, fmt.Errorf("oracle: gate %s fanin not yet defined", nd.Name)
+			}
+		}
+		out = append(out, byte(ki), byte(a), byte(bsrc))
+		sigIdx[n] = npi + nff + i
+	}
+	for _, ff := range c.DFFs {
+		out = append(out, byte(sigIdx[c.Nodes[ff].Fanin[0]]))
+	}
+	for _, po := range c.POs {
+		// The decoder indexes POs into the gate list, not the full signal
+		// space, so a PO driven directly by a PI or flip-flop cannot be
+		// expressed.
+		gi, ok := gatePos[po]
+		if !ok {
+			return nil, fmt.Errorf("oracle: PO %s is not a gate output", c.Nodes[po].Name)
+		}
+		out = append(out, byte(gi))
+	}
+
+	enc := func(v logic.Value) byte {
+		switch v {
+		case logic.Zero:
+			return 0
+		case logic.One:
+			return 1
+		}
+		return 2
+	}
+	if len(t.Seq) < 1 || len(t.Seq) > fuzzMaxSeq {
+		return nil, fmt.Errorf("oracle: test length %d outside fuzz encoding bounds", len(t.Seq))
+	}
+	out = append(out, byte(len(t.Seq)-1))
+	for i := 0; i < nff; i++ {
+		v := logic.X
+		if i < len(t.SI) {
+			v = t.SI[i]
+		}
+		out = append(out, enc(v))
+	}
+	for _, vec := range t.Seq {
+		for i := 0; i < npi; i++ {
+			v := logic.X
+			if i < len(vec) {
+				v = vec[i]
+			}
+			out = append(out, enc(v))
+		}
+	}
+	return out, nil
+}

@@ -1,13 +1,21 @@
-package response
+// The tests live in an external package so they can use internal/oracle
+// as the reference: the oracle's good machine runs on the event-driven
+// engine (esim), so these tests check response.Compute — which runs on
+// the compiled word engine (sim) — against a genuinely independent
+// implementation rather than against the engine it is built on.
+package response_test
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/oracle"
+	"repro/internal/response"
 	"repro/internal/samples"
 	"repro/internal/scan"
-	"repro/internal/sim"
 )
 
 func vec(s string) logic.Vector {
@@ -18,21 +26,62 @@ func vec(s string) logic.Vector {
 	return v
 }
 
-func TestComputeMatchesTrace(t *testing.T) {
-	c := samples.S27()
-	tst := scan.Test{SI: vec("010"), Seq: logic.Sequence{vec("1010"), vec("0001"), vec("1111")}}
-	resp := Compute(c, nil, tst)
-	tr := sim.RunSequence(c, tst.SI, tst.Seq)
-	if len(resp.POs) != 3 {
-		t.Fatalf("PO cycles = %d", len(resp.POs))
+func assertSame(t *testing.T, want, got response.TestResponse) {
+	t.Helper()
+	if len(want.POs) != len(got.POs) {
+		t.Fatalf("PO cycle count: oracle %d, response %d", len(want.POs), len(got.POs))
 	}
-	for u := range resp.POs {
-		if !resp.POs[u].Equal(tr.POs[u]) {
-			t.Errorf("cycle %d PO mismatch: %s vs %s", u, resp.POs[u], tr.POs[u])
+	for u := range want.POs {
+		if !got.POs[u].Equal(want.POs[u]) {
+			t.Errorf("cycle %d PO mismatch: response %s, oracle %s", u, got.POs[u], want.POs[u])
 		}
 	}
-	if !resp.ScanOut.Equal(tr.Final()) {
-		t.Errorf("scan-out %s != trace final %s", resp.ScanOut, tr.Final())
+	if !got.ScanOut.Equal(want.ScanOut) {
+		t.Errorf("scan-out %s != oracle %s", got.ScanOut, want.ScanOut)
+	}
+}
+
+func TestComputeMatchesOracle(t *testing.T) {
+	c := samples.S27()
+	orc := oracle.New(c, fault.Collapse(c))
+	tst := scan.Test{SI: vec("010"), Seq: logic.Sequence{vec("1010"), vec("0001"), vec("1111")}}
+	assertSame(t, orc.GoodResponse(tst), response.Compute(c, nil, tst))
+}
+
+// TestComputeMatchesOracleRandom sweeps random tests, including X
+// values and short vectors, under full scan and a reordered partial
+// chain.
+func TestComputeMatchesOracleRandom(t *testing.T) {
+	c := samples.S27()
+	faults := fault.Collapse(c)
+	ch, err := scan.NewChain(c.NumFFs(), []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(21))
+	rv := func(n int) logic.Vector {
+		v := make(logic.Vector, n)
+		for i := range v {
+			if r.Intn(5) == 0 {
+				v[i] = logic.X
+			} else {
+				v[i] = logic.Value(r.Intn(2))
+			}
+		}
+		return v
+	}
+	for _, chain := range []*scan.Chain{nil, ch} {
+		orc := oracle.NewChain(c, faults, chain)
+		for trial := 0; trial < 15; trial++ {
+			tst := scan.Test{SI: rv(orc.Nsv())}
+			for u := 0; u < 1+r.Intn(4); u++ {
+				tst.Seq = append(tst.Seq, rv(c.NumPIs()))
+			}
+			if trial%4 == 0 && len(tst.SI) > 1 {
+				tst.SI = tst.SI[:len(tst.SI)-1] // short SI fills with X
+			}
+			assertSame(t, orc.GoodResponse(tst), response.Compute(c, chain, tst))
+		}
 	}
 }
 
@@ -44,7 +93,7 @@ func TestComputePartialChainScanOut(t *testing.T) {
 	}
 	// SI "10": q2=1, q0=0, q1=X. One cycle with si=1: q0<-1, q1<-q0=0, q2<-q1=X.
 	tst := scan.Test{SI: vec("10"), Seq: logic.Sequence{vec("1")}}
-	resp := Compute(c, ch, tst)
+	resp := response.Compute(c, ch, tst)
 	if len(resp.ScanOut) != 2 {
 		t.Fatalf("scan-out width %d, want 2", len(resp.ScanOut))
 	}
@@ -52,6 +101,7 @@ func TestComputePartialChainScanOut(t *testing.T) {
 	if resp.ScanOut[0] != logic.X || resp.ScanOut[1] != logic.One {
 		t.Errorf("scan-out = %s, want x1", resp.ScanOut)
 	}
+	assertSame(t, oracle.NewChain(c, nil, ch).GoodResponse(tst), resp)
 }
 
 func TestForSetAndWrite(t *testing.T) {
@@ -60,11 +110,15 @@ func TestForSetAndWrite(t *testing.T) {
 		scan.Test{SI: vec("000"), Seq: logic.Sequence{vec("0000")}},
 		scan.Test{SI: vec("111"), Seq: logic.Sequence{vec("1111"), vec("0000")}},
 	)
-	resps := ForSet(c, nil, ts)
+	resps := response.ForSet(c, nil, ts)
 	if len(resps) != 2 {
 		t.Fatal("ForSet count wrong")
 	}
-	out := WriteString(ts, resps)
+	orc := oracle.New(c, nil)
+	for i, tst := range ts.Tests {
+		assertSame(t, orc.GoodResponse(tst), resps[i])
+	}
+	out := response.WriteString(ts, resps)
 	for _, want := range []string{"response v1", "si 000", "-> po", "so "} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -77,42 +131,40 @@ func TestForSetAndWrite(t *testing.T) {
 }
 
 func TestWriteLengthMismatch(t *testing.T) {
-	c := samples.S27()
 	ts := scan.NewSet(scan.Test{SI: vec("000"), Seq: logic.Sequence{vec("0000")}})
-	err := Write(&strings.Builder{}, ts, nil)
+	err := response.Write(&strings.Builder{}, ts, nil)
 	if err == nil {
 		t.Error("mismatched lengths must fail")
 	}
-	_ = c
 }
 
 func TestFailSignature(t *testing.T) {
-	exp := TestResponse{
+	exp := response.TestResponse{
 		POs:     []logic.Vector{vec("01"), vec("1x")},
 		ScanOut: vec("10x"),
 	}
 	// Identical observation: pass.
-	if FailSignature(exp, exp) {
+	if response.FailSignature(exp, exp) {
 		t.Error("identical responses must pass")
 	}
 	// X expectations match anything.
-	obs := TestResponse{POs: []logic.Vector{vec("01"), vec("11")}, ScanOut: vec("101")}
-	if FailSignature(exp, obs) {
+	obs := response.TestResponse{POs: []logic.Vector{vec("01"), vec("11")}, ScanOut: vec("101")}
+	if response.FailSignature(exp, obs) {
 		t.Error("X expectation must match any observation")
 	}
 	// Definite mismatch in a PO.
-	obs2 := TestResponse{POs: []logic.Vector{vec("00"), vec("1x")}, ScanOut: vec("10x")}
-	if !FailSignature(exp, obs2) {
+	obs2 := response.TestResponse{POs: []logic.Vector{vec("00"), vec("1x")}, ScanOut: vec("10x")}
+	if !response.FailSignature(exp, obs2) {
 		t.Error("PO mismatch must fail")
 	}
 	// Definite mismatch at scan-out.
-	obs3 := TestResponse{POs: []logic.Vector{vec("01"), vec("1x")}, ScanOut: vec("00x")}
-	if !FailSignature(exp, obs3) {
+	obs3 := response.TestResponse{POs: []logic.Vector{vec("01"), vec("1x")}, ScanOut: vec("00x")}
+	if !response.FailSignature(exp, obs3) {
 		t.Error("scan-out mismatch must fail")
 	}
 	// Truncated observation fails.
-	obs4 := TestResponse{POs: []logic.Vector{vec("01")}, ScanOut: vec("10x")}
-	if !FailSignature(exp, obs4) {
+	obs4 := response.TestResponse{POs: []logic.Vector{vec("01")}, ScanOut: vec("10x")}
+	if !response.FailSignature(exp, obs4) {
 		t.Error("missing cycles must fail")
 	}
 }

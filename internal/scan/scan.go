@@ -34,6 +34,34 @@ func (t Test) String() string {
 	return fmt.Sprintf("(SI=%s, L=%d)", t.SI, t.Len())
 }
 
+// Validate checks a test's structural well-formedness against a circuit
+// interface with npis primary inputs and nsv scanned state variables:
+// the scan-in vector must fit the chain, every at-speed vector must fit
+// the primary inputs, and all values must be 0, 1 or X (Z never appears
+// in tests — the simulators would silently coerce it to X, so a Z here
+// means a construction bug upstream).
+func (t Test) Validate(npis, nsv int) error {
+	if len(t.SI) > nsv {
+		return fmt.Errorf("scan: SI has %d values for %d scanned state variables", len(t.SI), nsv)
+	}
+	for _, v := range t.SI {
+		if v != logic.Zero && v != logic.One && v != logic.X {
+			return fmt.Errorf("scan: SI carries non-test value %v", v)
+		}
+	}
+	for u, vec := range t.Seq {
+		if len(vec) > npis {
+			return fmt.Errorf("scan: vector %d has %d values for %d primary inputs", u, len(vec), npis)
+		}
+		for _, v := range vec {
+			if v != logic.Zero && v != logic.One && v != logic.X {
+				return fmt.Errorf("scan: vector %d carries non-test value %v", u, v)
+			}
+		}
+	}
+	return nil
+}
+
 // Set is an ordered scan test set.
 type Set struct {
 	Tests []Test
@@ -49,6 +77,16 @@ func (s *Set) Clone() *Set {
 		c.Tests[i] = t.Clone()
 	}
 	return c
+}
+
+// Validate checks every test in the set (see Test.Validate).
+func (s *Set) Validate(npis, nsv int) error {
+	for i, t := range s.Tests {
+		if err := t.Validate(npis, nsv); err != nil {
+			return fmt.Errorf("test %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // NumTests returns the number of tests (the k of the cost formula).

@@ -1,0 +1,83 @@
+// External test package: the oracle imports fsim (which vecomit also
+// drives), so checking vecomit against the oracle from inside the
+// package would create an import cycle.
+package vecomit_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/oracle"
+	"repro/internal/scan"
+	"repro/internal/vecomit"
+)
+
+// TestCompactPreservesCoverageOracle verifies the omission contract
+// with the reference simulator rather than the fsim instance the
+// compactor itself used: every fault in the keep set must still be
+// detected by the compacted test, and the compacted sequence must be a
+// subsequence no longer than the original.
+func TestCompactPreservesCoverageOracle(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "vo", Seed: 31, PIs: 4, POs: 3, FFs: 8, Gates: 90})
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	orc := oracle.New(c, faults)
+	r := rand.New(rand.NewSource(13))
+
+	for trial := 0; trial < 5; trial++ {
+		tst := scan.Test{SI: make(logic.Vector, c.NumFFs())}
+		for i := range tst.SI {
+			tst.SI[i] = logic.Value(r.Intn(2))
+		}
+		for u := 0; u < 14; u++ {
+			v := make(logic.Vector, c.NumPIs())
+			for i := range v {
+				v[i] = logic.Value(r.Intn(2))
+			}
+			tst.Seq = append(tst.Seq, v)
+		}
+		keep := s.DetectTest(tst.SI, tst.Seq, nil)
+		got, st := vecomit.CompactTest(s, tst, keep, vecomit.Options{})
+		if got.Len() > tst.Len() {
+			t.Fatalf("trial %d: compaction grew the sequence (%d → %d)", trial, tst.Len(), got.Len())
+		}
+		after := orc.DetectTest(got.SI, got.Seq, nil)
+		if !after.ContainsAll(keep) {
+			missing := keep.Clone()
+			missing.SubtractWith(after)
+			t.Fatalf("trial %d: omission lost %d faults (removed %d vectors)",
+				trial, missing.Count(), st.Removed)
+		}
+	}
+}
+
+// TestCompactSequenceOracle covers the no-scan role (conditioning T_0):
+// the keep set must survive without scan-in or scan-out observation.
+func TestCompactSequenceOracle(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "vs", Seed: 32, PIs: 3, POs: 3, FFs: 6, Gates: 70})
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	orc := oracle.New(c, faults)
+	r := rand.New(rand.NewSource(17))
+
+	seq := make(logic.Sequence, 16)
+	for u := range seq {
+		v := make(logic.Vector, c.NumPIs())
+		for i := range v {
+			v[i] = logic.Value(r.Intn(2))
+		}
+		seq[u] = v
+	}
+	keep := s.Detect(seq, fsim.Options{})
+	got, _ := vecomit.CompactSequence(s, seq, keep, vecomit.Options{})
+	after := orc.Detect(got, oracle.Options{})
+	if !after.ContainsAll(keep) {
+		missing := keep.Clone()
+		missing.SubtractWith(after)
+		t.Fatalf("sequence omission lost %d faults", missing.Count())
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/oracle"
+	"repro/internal/scan"
+)
+
+// auditOptions maps the Config knobs onto the oracle's.
+func (c Config) auditOptions() oracle.AuditOptions {
+	return oracle.AuditOptions{SampleFaults: c.CheckSample}
+}
+
+// auditRun re-checks every artifact of one pipeline run against the
+// reference simulator: the T_0 grading, both [4] baseline sets and the
+// dynamic baseline. The proposed-procedure results are audited inside
+// core.Run through the Options.Audit hook, so they are not re-audited
+// here.
+func auditRun(s *fsim.Simulator, run *CircuitRun, opt oracle.AuditOptions) error {
+	c := run.Circuit
+	rep := oracle.AuditSequence(c, run.Faults, run.T0, run.T0Detected, opt)
+
+	claim := func(ts *scan.Set) *fault.Set {
+		got := fault.NewSet(len(run.Faults))
+		for _, t := range ts.Tests {
+			got.UnionWith(s.DetectTest(t.SI, t.Seq, nil))
+		}
+		return got
+	}
+	required := claim(run.Base4Init)
+	rep.Merge(oracle.AuditCoverage(c, run.Faults, nil, run.Base4Comp, claim(run.Base4Comp), required, opt))
+	if run.BaseDyn != nil {
+		rep.Merge(oracle.AuditCoverage(c, run.Faults, nil, run.BaseDyn, claim(run.BaseDyn), nil, opt))
+	}
+	if !rep.Ok() {
+		return fmt.Errorf("workload %s: audit: %s", run.Entry.Params.Name, rep)
+	}
+	return nil
+}

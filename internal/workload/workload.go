@@ -30,6 +30,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/gen"
 	"repro/internal/logic"
+	"repro/internal/oracle"
 	"repro/internal/restore"
 	"repro/internal/scan"
 	"repro/internal/scomp"
@@ -59,6 +60,15 @@ type Config struct {
 	// (fsim.Simulator.SetWorkers): 0 keeps runs serial, negative selects
 	// runtime.NumCPU(). Results are identical for any value.
 	Workers int
+	// Check audits every run against the reference simulator in package
+	// oracle: the proposed procedure through core.Options.Audit, the
+	// baselines and T_0 grading through sampled re-simulation. A
+	// violation fails the run. Sampled, but still several times slower
+	// than an unchecked run.
+	Check bool
+	// CheckSample bounds the faults re-simulated per audited artifact
+	// (0 = the oracle's default, negative = every fault).
+	CheckSample int
 	// Core passes extra options to the proposed procedure.
 	Core core.Options
 }
@@ -159,15 +169,24 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 	}
 
 	// Proposed procedure, both T_0 sources.
-	run.Proposed, err = core.Run(s, comb.Tests, run.T0, cfg.Core)
+	coreOpt := cfg.Core
+	if cfg.Check && coreOpt.Audit == nil {
+		coreOpt.Audit = oracle.Auditor(ckt, faults, nil, cfg.auditOptions())
+	}
+	run.Proposed, err = core.Run(s, comb.Tests, run.T0, coreOpt)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
 	}
 	if !cfg.SkipRandom {
 		randT0 := seqgen.Random(ckt, cfg.RandomT0Len, seed+1)
-		run.ProposedRand, err = core.Run(s, comb.Tests, randT0, cfg.Core)
+		run.ProposedRand, err = core.Run(s, comb.Tests, randT0, coreOpt)
 		if err != nil {
 			return nil, fmt.Errorf("workload %s (random T0): %v", entry.Params.Name, err)
+		}
+	}
+	if cfg.Check {
+		if err := auditRun(s, run, cfg.auditOptions()); err != nil {
+			return nil, err
 		}
 	}
 	return run, nil
