@@ -1,12 +1,18 @@
 package repro
 
 import (
+	"bytes"
 	"encoding/json"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
 	"repro/internal/workload"
 )
 
@@ -73,4 +79,220 @@ func TestEmitBenchFsimJSON(t *testing.T) {
 	}
 	t.Logf("workers=1 %.2fs, workers=%d %.2fs, speedup %.2fx (cpus=%d)",
 		rep.Arms[0].Seconds, rep.Arms[1].Workers, rep.Arms[1].Seconds, rep.Speedup, rep.CPUs)
+}
+
+// benchKernelArm is one measured engine configuration in
+// BENCH_kernel.json: the engine kind plus the batch width that keys it.
+type benchKernelArm struct {
+	Engine          string  `json:"engine"` // "interpreter" or "kernel"
+	BatchWords      int     `json:"batch_words"`
+	Slots           int     `json:"slots"` // fault slots per pass
+	Seconds         float64 `json:"seconds"`
+	FaultVecsPerSec float64 `json:"fault_vecs_per_sec"`
+	Detected        int     `json:"detected"`
+	Speedup         float64 `json:"speedup"` // vs the interpreter arm
+}
+
+// benchKernelCircuit is the width sweep on one roster circuit.
+type benchKernelCircuit struct {
+	Circuit   string           `json:"circuit"`
+	Gates     int              `json:"gates"`
+	FFs       int              `json:"ffs"`
+	Faults    int              `json:"faults"`
+	Vectors   int              `json:"vectors"`
+	Arms      []benchKernelArm `json:"arms"`
+	Identical bool             `json:"identical_detection"`
+}
+
+// benchKernelReport is the schema of BENCH_kernel.json: the compiled
+// batch kernel against the interpreter baseline across batch widths, on
+// a paper-roster circuit and an ISCAS-scale one. The acceptance figure
+// is the best kernel speedup at W >= 4 words.
+type benchKernelReport struct {
+	Date          string               `json:"date"`
+	GoVersion     string               `json:"go_version"`
+	CPUs          int                  `json:"cpus"`
+	Workload      string               `json:"workload"`
+	Circuits      []benchKernelCircuit `json:"circuits"`
+	BestSpeedupW4 float64              `json:"best_speedup_w4plus"`
+}
+
+// kernelBenchCase builds the grading workload for one roster circuit:
+// collapsed faults, a reproducible random vector sequence and scan-in.
+func kernelBenchCase(t *testing.T, name string, vectors int) (*fsim.Simulator, logic.Sequence, logic.Vector) {
+	t.Helper()
+	c, ok := gen.RosterCircuit(name)
+	if !ok {
+		t.Fatalf("unknown roster circuit %q", name)
+	}
+	faults := fault.Collapse(c)
+	s := fsim.New(c, faults)
+	r := rand.New(rand.NewSource(1))
+	seq := make(logic.Sequence, vectors)
+	for u := range seq {
+		seq[u] = make(logic.Vector, c.NumPIs())
+		for i := range seq[u] {
+			seq[u][i] = logic.Value(r.Intn(2))
+		}
+	}
+	si := make(logic.Vector, s.Nsv())
+	for i := range si {
+		si[i] = logic.Value(r.Intn(2))
+	}
+	return s, seq, si
+}
+
+// TestEmitBenchKernelJSON measures the interpreter-vs-kernel width sweep
+// and writes BENCH_kernel.json. Every arm must detect the identical
+// fault set. Gated behind BENCH_KERNEL_JSON=1: the ISCAS-scale
+// interpreter arm alone takes the better part of a minute.
+func TestEmitBenchKernelJSON(t *testing.T) {
+	if os.Getenv("BENCH_KERNEL_JSON") == "" {
+		t.Skip("set BENCH_KERNEL_JSON=1 to measure and rewrite BENCH_kernel.json")
+	}
+	rep := benchKernelReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Workload:  "scan-test fault grading (fsim.DetectTest, fault dropping on, serial worker)",
+	}
+	for _, name := range []string{"s1423", "s35932xl"} {
+		vectors := 48
+		s, seq, si := kernelBenchCase(t, name, vectors)
+		cc := benchKernelCircuit{
+			Circuit:   name,
+			Gates:     s.Circuit().NumGates(),
+			FFs:       s.Circuit().NumFFs(),
+			Faults:    s.NumFaults(),
+			Vectors:   vectors,
+			Identical: true,
+		}
+		var base float64
+		var ref *fault.Set
+		for _, words := range []int{1, 2, 4, 8} {
+			s.SetBatchWords(words)
+			s.DetectTest(si, seq, nil) // warm caches and arenas
+			start := time.Now()
+			det := s.DetectTest(si, seq, nil)
+			el := time.Since(start).Seconds()
+			arm := benchKernelArm{
+				Engine:          "kernel",
+				BatchWords:      words,
+				Slots:           64*words - 1,
+				Seconds:         el,
+				FaultVecsPerSec: float64(s.NumFaults()) * float64(vectors) / el,
+				Detected:        det.Count(),
+			}
+			if words == 1 {
+				arm.Engine = "interpreter"
+				arm.Slots = 63
+				base = el
+				ref = det
+			} else if !det.Equal(ref) {
+				cc.Identical = false
+				t.Errorf("%s words=%d: detection set differs from interpreter", name, words)
+			}
+			if base > 0 {
+				arm.Speedup = base / el
+			}
+			if words >= 4 && arm.Speedup > rep.BestSpeedupW4 {
+				rep.BestSpeedupW4 = arm.Speedup
+			}
+			t.Logf("%s words=%d: %.2fs, %.0f fault-vecs/s, speedup %.2fx",
+				name, words, el, arm.FaultVecsPerSec, arm.Speedup)
+			cc.Arms = append(cc.Arms, arm)
+		}
+		rep.Circuits = append(rep.Circuits, cc)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kernel.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchFsimJSONSchema validates the checked-in BENCH_fsim.json:
+// parseable, no unknown fields, and the fields a reader of the speedup
+// claim depends on are present.
+func TestBenchFsimJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_fsim.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep benchFsimReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Date == "" || rep.GoVersion == "" || rep.CPUs < 1 || len(rep.Roster) == 0 {
+		t.Errorf("missing context fields: %+v", rep)
+	}
+	if len(rep.Arms) < 2 {
+		t.Fatalf("want >= 2 arms, got %d", len(rep.Arms))
+	}
+	if !rep.Identical {
+		t.Error("identical_tables must hold")
+	}
+}
+
+// TestBenchKernelJSONSchema validates the checked-in BENCH_kernel.json:
+// arms keyed by engine kind and batch width, an interpreter baseline
+// per circuit, identical detection everywhere, and the recorded
+// acceptance figure of >= 3x at W >= 4 words.
+func TestBenchKernelJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_kernel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep benchKernelReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Date == "" || rep.GoVersion == "" || rep.CPUs < 1 {
+		t.Errorf("missing context fields: %+v", rep)
+	}
+	if len(rep.Circuits) == 0 {
+		t.Fatal("no circuits recorded")
+	}
+	for _, cc := range rep.Circuits {
+		if cc.Circuit == "" || cc.Faults <= 0 || cc.Vectors <= 0 {
+			t.Errorf("incomplete circuit record: %+v", cc)
+		}
+		if !cc.Identical {
+			t.Errorf("%s: detection sets differ across widths", cc.Circuit)
+		}
+		var interp, kernel4 bool
+		for _, a := range cc.Arms {
+			switch a.Engine {
+			case "interpreter":
+				if a.BatchWords != 1 {
+					t.Errorf("%s: interpreter arm at batch_words=%d", cc.Circuit, a.BatchWords)
+				}
+				interp = true
+			case "kernel":
+				if a.BatchWords < 2 {
+					t.Errorf("%s: kernel arm at batch_words=%d", cc.Circuit, a.BatchWords)
+				}
+				if a.BatchWords >= 4 {
+					kernel4 = true
+				}
+			default:
+				t.Errorf("%s: unknown engine kind %q", cc.Circuit, a.Engine)
+			}
+			if a.Seconds <= 0 || a.FaultVecsPerSec <= 0 || a.Detected <= 0 {
+				t.Errorf("%s/%s/w%d: incomplete arm: %+v", cc.Circuit, a.Engine, a.BatchWords, a)
+			}
+		}
+		if !interp || !kernel4 {
+			t.Errorf("%s: need an interpreter baseline and a kernel arm at W >= 4", cc.Circuit)
+		}
+	}
+	if rep.BestSpeedupW4 < 3 {
+		t.Errorf("best kernel speedup at W >= 4 is %.2fx, acceptance requires >= 3x", rep.BestSpeedupW4)
+	}
 }

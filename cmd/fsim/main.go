@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cliutil"
 	"repro/internal/fault"
@@ -28,10 +30,39 @@ func main() {
 	testsPath := flag.String("tests", "", "scan test set file (internal/scan text format)")
 	seqPath := flag.String("seq", "", "raw PI sequence file (applied without scan from all-X)")
 	workers := flag.Int("workers", 0, "worker goroutines per simulation run (0 = NumCPU, 1 = serial)")
+	batchWords := flag.Int("batchwords", 0, "kernel batch width in 64-slot words (0 = default, 1 = interpreter engine)")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	c, err := cliutil.LoadCircuit(*benchPath, *roster)
 	if err != nil {
@@ -39,7 +70,7 @@ func main() {
 	}
 	fmt.Println(c.Stats())
 	faults := fault.Collapse(c)
-	s := fsim.New(c, faults).SetWorkers(*workers)
+	s := fsim.New(c, faults).SetWorkers(*workers).SetBatchWords(*batchWords)
 
 	detected := fault.NewSet(len(faults))
 	var audit func() *oracle.Report

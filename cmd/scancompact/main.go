@@ -40,6 +40,7 @@ func main() {
 	noPhase4 := flag.Bool("nophase4", false, "skip Phase 4 static compaction")
 	scanFFs := flag.Int("scan", 0, "partial scan: scan only the first N flip-flops (0 = full scan)")
 	workers := flag.Int("workers", 0, "worker goroutines per fault-simulation run (0 = NumCPU, 1 = serial)")
+	batchWords := flag.Int("batchwords", 0, "kernel batch width in 64-slot words (0 = default, 1 = interpreter engine)")
 	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
 	flag.Parse()
@@ -73,7 +74,7 @@ func main() {
 	fmt.Printf("combinational test set C: %d tests, %d detected, %d untestable, %d aborted\n",
 		len(comb.Tests), comb.Detected.Count(), comb.Untestable.Count(), comb.Aborted.Count())
 
-	s := fsim.NewChain(c, faults, chain).SetWorkers(*workers)
+	s := fsim.NewChain(c, faults, chain).SetWorkers(*workers).SetBatchWords(*batchWords)
 	var t0 = seqgen.Random(c, *t0len, *seed)
 	if !*randT0 {
 		res := seqgen.Generate(c, faults, seqgen.Options{Seed: *seed, MaxLen: *t0len})

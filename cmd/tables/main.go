@@ -29,6 +29,7 @@ func main() {
 	pow := flag.Bool("power", false, "also print the test-power extension table")
 	nodyn := flag.Bool("nodyn", false, "skip the [2,3] dynamic baseline")
 	workers := flag.Int("workers", 1, "worker goroutines per fault-simulation run (0 = NumCPU; -p already parallelizes across circuits)")
+	batchWords := flag.Int("batchwords", 0, "kernel batch width in 64-slot words (0 = default, 1 = interpreter engine)")
 	check := flag.Bool("check", false, "audit every run against the scalar reference simulator (sampled; slower)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
 	flag.Parse()
@@ -39,6 +40,7 @@ func main() {
 		SkipRandom:  *norand,
 		SkipDynamic: *nodyn,
 		Workers:     *workers,
+		BatchWords:  *batchWords,
 		Check:       *check,
 		CheckSample: *checkSample,
 	}

@@ -83,3 +83,67 @@ func BenchmarkProfile(b *testing.B) {
 		s.Profile(si, seq, nil)
 	}
 }
+
+// benchKernelSetup builds the batch-kernel comparison fixture: a
+// circuit whose collapsed fault list spans many passes at every width.
+func benchKernelSetup(b *testing.B, name string) (*Simulator, logic.Sequence, logic.Vector) {
+	b.Helper()
+	c, ok := gen.RosterCircuit(name)
+	if !ok {
+		b.Fatalf("unknown roster circuit %q", name)
+	}
+	faults := fault.Collapse(c)
+	s := New(c, faults)
+	r := rand.New(rand.NewSource(1))
+	seq := randomSeq(r, c.NumPIs(), 48)
+	si := make(logic.Vector, s.Nsv())
+	for i := range si {
+		si[i] = logic.Value(r.Intn(2))
+	}
+	return s, seq, si
+}
+
+// BenchmarkKernelWidths compares the interpreter engine (words=1)
+// against the compiled kernel at growing batch widths on a scan-test
+// grading run — the inner loop that dominates the Table 3 pipeline.
+// Throughput is reported as fault-vector evaluations per second.
+func BenchmarkKernelWidths(b *testing.B) {
+	for _, name := range []string{"s1423", "s35932xl"} {
+		if name == "s35932xl" && testing.Short() {
+			continue
+		}
+		for _, words := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/words=%d", name, words), func(b *testing.B) {
+				s, seq, si := benchKernelSetup(b, name)
+				s.SetBatchWords(words)
+				b.ResetTimer()
+				var det int
+				for i := 0; i < b.N; i++ {
+					det = s.DetectTest(si, seq, nil).Count()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(s.NumFaults())*float64(len(seq))*float64(b.N)/b.Elapsed().Seconds(), "fault-vecs/s")
+				b.ReportMetric(float64(det), "detected")
+			})
+		}
+	}
+}
+
+// BenchmarkKernelProfileWidths measures the width sweep on profile runs
+// — no early exit, every fault simulated through the full sequence, so
+// this isolates the raw kernel throughput from detection-dependent
+// pass shortening.
+func BenchmarkKernelProfileWidths(b *testing.B) {
+	for _, words := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			s, seq, si := benchKernelSetup(b, "s1423")
+			s.SetBatchWords(words)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Profile(si, seq, nil)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.NumFaults())*float64(len(seq))*float64(b.N)/b.Elapsed().Seconds(), "fault-vecs/s")
+		})
+	}
+}

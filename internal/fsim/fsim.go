@@ -1,10 +1,20 @@
 // Package fsim implements fault simulation for full-scan circuits using
 // the parallel-fault method: each pass packs the good machine into slot 0
-// and up to 63 faulty machines into slots 1..63 of the dual-rail word
+// and the faulty machines into the remaining slots of a dual-rail word
 // simulator, then replays an input sequence once for the whole pass.
 // When a memoized good-machine trace is available (see the trace cache in
-// tracecache.go), slot 0 is freed for a 64th faulty machine and the good
-// values come from the cache instead.
+// tracecache.go), slot 0 is freed for one more faulty machine and the
+// good values come from the cache instead.
+//
+// Two engines execute passes. Large runs use the compiled batch kernel
+// (sim.BatchEngine): the circuit is lowered once into a straight-line
+// program of dual-rail word ops and executed over W-word batches, so one
+// pass carries up to 64*W-1 faulty machines (SetBatchWords; default 4
+// words = 255 faults per pass). Runs whose target set fits a single
+// 64-slot word fall back to the interpreter engine (sim.Engine), and
+// SetBatchWords(1) forces the interpreter everywhere. Detection results
+// are bit-identical for every width — the differential tests in package
+// oracle and kernel_test.go assert this.
 //
 // Detection criteria follow standard practice: a fault is detected when a
 // primary output carries definite, differing values in the good and
@@ -13,11 +23,12 @@
 // (full scan makes every flip-flop observable at scan-out).
 //
 // Simulation passes are independent, so a Simulator can shard them over
-// a pool of workers (SetWorkers); each worker owns a private sim.Engine
-// and detection results are merged after the fan-out.
+// a pool of workers (SetWorkers); each worker owns private engines and
+// detection results are merged after the fan-out.
 package fsim
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,13 +40,17 @@ import (
 	"repro/internal/sim"
 )
 
-// batchSize is the number of faulty machines per simulation pass when
+// batchSize is the number of faulty machines per interpreter pass when
 // slot 0 carries the good machine.
 const batchSize = 63
 
-// batchSizeCached is the number of faulty machines per pass when a
-// memoized good-machine trace frees slot 0 for a 64th fault.
-const batchSizeCached = 64
+// defaultBatchWords is the default kernel batch width: 4 words = 256
+// slots = 255 faulty machines per pass (256 with a cached good trace).
+const defaultBatchWords = 4
+
+// maxBatchWords caps SetBatchWords; beyond ~1024 slots per pass the
+// value arena outgrows caches faster than the pass count shrinks.
+const maxBatchWords = 16
 
 // Simulator fault-simulates one circuit against a fixed fault list.
 // The fault list order defines fault indices used in all result sets.
@@ -57,24 +72,61 @@ type Simulator struct {
 	chain    []int // scanned FF positions in scan order; nil = full scan
 	observed []int // FF positions compared at scan-out
 
-	mu      sync.Mutex
-	workers int       // max concurrent passes per run
-	idle    []*worker // checked-in workers
+	mu         sync.Mutex
+	workers    int          // max concurrent passes per run
+	idle       []*worker    // checked-in workers
+	batchWords int          // kernel batch width in words; 1 = interpreter
+	prog       *sim.Program // lazily compiled batch program
 
 	cache *traceCache
 }
 
 // worker owns the per-goroutine simulation state of one pool member.
+// Both engines are created lazily: a worker that only ever runs kernel
+// passes never allocates an interpreter engine and vice versa.
 type worker struct {
-	s      *Simulator
-	eng    *sim.Engine
-	injBuf []sim.Injection
+	s       *Simulator
+	eng     *sim.Engine
+	beng    *sim.BatchEngine
+	injBuf  []sim.Injection
+	binjBuf []sim.BatchInjection
+	maskBuf []uint64 // per-fault kernel injection masks
+	vecBuf  []uint64 // batch/detected/diff/potential mask scratch
+}
+
+// engine returns the worker's interpreter engine, creating it on first
+// use.
+func (wk *worker) engine() *sim.Engine {
+	if wk.eng == nil {
+		wk.eng = sim.New(wk.s.c)
+	}
+	return wk.eng
+}
+
+// kernel returns the worker's batch engine at the given width, creating
+// or re-arming it as needed.
+func (wk *worker) kernel(width int) *sim.BatchEngine {
+	if wk.beng == nil || wk.beng.Cap() < width {
+		c := wk.s.BatchWords()
+		if c < width {
+			c = width
+		}
+		wk.beng = sim.NewBatch(wk.s.program(), c)
+	}
+	if wk.beng.Width() != width {
+		wk.beng.SetWidth(width)
+	}
+	return wk.beng
 }
 
 // New returns a full-scan Simulator for c over the given fault list
 // (typically fault.Collapse(c)).
 func New(c *circuit.Circuit, faults []fault.Fault) *Simulator {
-	s := &Simulator{c: c, faults: faults, workers: 1, cache: newTraceCache(defaultTraceCacheCap)}
+	s := &Simulator{
+		c: c, faults: faults, workers: 1,
+		batchWords: defaultBatchWords,
+		cache:      newTraceCache(defaultTraceCacheCap),
+	}
 	s.observed = make([]int, c.NumFFs())
 	for i := range s.observed {
 		s.observed[i] = i
@@ -104,6 +156,63 @@ func (s *Simulator) SetWorkers(n int) *Simulator {
 	s.workers = n
 	s.mu.Unlock()
 	return s
+}
+
+// SetBatchWords sets the kernel batch width in words: each kernel pass
+// carries 64*n slots (64*n - 1 faulty machines, one more with a cached
+// good trace). n <= 0 restores the default; n is capped at a small
+// compile-time maximum. SetBatchWords(1) disables the compiled kernel
+// and runs every pass on the interpreter engine. Detection results are
+// bit-identical at every width — this is purely a performance lever. It
+// returns s so the call chains onto New.
+func (s *Simulator) SetBatchWords(n int) *Simulator {
+	if n <= 0 {
+		n = defaultBatchWords
+	}
+	if n > maxBatchWords {
+		n = maxBatchWords
+	}
+	s.mu.Lock()
+	s.batchWords = n
+	s.idle = nil // let workers re-size their kernel arenas lazily
+	s.mu.Unlock()
+	return s
+}
+
+// BatchWords returns the configured kernel batch width in words.
+func (s *Simulator) BatchWords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batchWords
+}
+
+// program returns the compiled batch program, compiling on first use.
+func (s *Simulator) program() *sim.Program {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prog == nil {
+		s.prog = sim.Compile(s.c)
+	}
+	return s.prog
+}
+
+// effWidth picks the batch width (in words) for a run over ntargets
+// faults: wide enough for the targets plus the good-machine slot, but
+// never wider than configured, and width 1 — a target set that fits one
+// word — always takes the interpreter path.
+func (s *Simulator) effWidth(ntargets int) int {
+	bw := s.BatchWords()
+	if bw <= 1 {
+		return 1
+	}
+	need := (ntargets + 64) / 64 // +1 slot for the good machine
+	if need <= 1 {
+		return 1
+	}
+	if need > bw {
+		return bw
+	}
+	return need
 }
 
 // SetTraceCacheCap resizes the good-machine trace cache to hold n
@@ -147,7 +256,7 @@ func (s *Simulator) acquire() *worker {
 		return w
 	}
 	s.mu.Unlock()
-	return &worker{s: s, eng: sim.New(s.c)}
+	return &worker{s: s}
 }
 
 // release returns a worker to the pool.
@@ -292,8 +401,9 @@ func (s *Simulator) targetIndices(targets *fault.Set) []int {
 }
 
 // run executes one simulation run: it resolves the targets, decides the
-// batch geometry (63 faults per pass, or 64 when a memoized good trace
-// frees slot 0), and fans the passes out over the worker pool.
+// batch geometry (64*width - 1 faults per pass, one more when a
+// memoized good trace frees slot 0, with width adapted to the target
+// count), and fans the passes out over the worker pool.
 // Detections are accumulated into detected and — in profile mode —
 // per-time data into profile. A non-nil abort turns the run into a
 // must-detect check: a completed pass with an undetected fault aborts
@@ -305,14 +415,18 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 	}
 	spec := &runSpec{seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, abort: abort}
 
+	width := s.effWidth(len(targets))
 	bs := batchSize
+	if width > 1 {
+		bs = 64*width - 1
+	}
 	cache := s.traceCacheRef()
 	if len(seq) > 0 {
 		tr, repeat := cache.lookup(opt.Init, seq)
 		switch {
 		case tr != nil:
 			spec.good = tr
-		case repeat && len(targets) > batchSize:
+		case repeat && len(targets) > bs:
 			// Compute a trace only for keys that recur and runs that span
 			// two or more passes: a repeat makes later hits likely, and
 			// the extra passes amortize the one good-machine replay that
@@ -325,7 +439,7 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 		}
 	}
 	if spec.good != nil {
-		bs = batchSizeCached
+		bs++ // a cached good machine frees slot 0 for one more fault
 	}
 	nb := (len(targets) + bs - 1) / bs
 
@@ -341,7 +455,7 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 				return
 			}
 			batch := targets[k*bs : min((k+1)*bs, len(targets))]
-			w.runBatch(batch, spec, detected, opt.Potential)
+			w.simulate(batch, spec, width, detected, opt.Potential)
 			if abort != nil && !containsAllIdx(detected, batch) {
 				abort.Store(true)
 				return
@@ -376,7 +490,7 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 					break
 				}
 				batch := targets[k*bs : min((k+1)*bs, len(targets))]
-				w.runBatch(batch, spec, local, localPot)
+				w.simulate(batch, spec, width, local, localPot)
 				if abort != nil && !containsAllIdx(local, batch) {
 					abort.Store(true)
 					break
@@ -403,6 +517,16 @@ func containsAllIdx(set *fault.Set, batch []int) bool {
 	return true
 }
 
+// simulate runs one pass at the chosen width: single-word passes take
+// the interpreter engine, wider ones the compiled batch kernel.
+func (w *worker) simulate(batch []int, spec *runSpec, width int, detected, potential *fault.Set) {
+	if width <= 1 {
+		w.runBatch(batch, spec, detected, potential)
+		return
+	}
+	w.runBatchVec(batch, spec, width, detected, potential)
+}
+
 // runBatch simulates one parallel-fault pass over spec.seq. batch holds
 // the fault indices of the pass; detections are added to detected and
 // potential detections to potential (nil = not collected). In profile
@@ -410,7 +534,7 @@ func containsAllIdx(set *fault.Set, batch []int) bool {
 // instead of early-exiting.
 func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault.Set) {
 	s := w.s
-	eng := w.eng
+	eng := w.engine()
 	eng.Reset()
 	w.injBuf = w.injBuf[:0]
 	slot0 := uint(1) // slot of the first faulty machine
@@ -526,6 +650,194 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 			}
 		}
 	}
+}
+
+// runBatchVec is runBatch on the compiled batch kernel: one pass over
+// spec.seq carries up to 64*width - 1 faulty machines (64*width with a
+// cached good trace). The observation logic mirrors runBatch word by
+// word — the good trace is slot-uniform, so comparing every word
+// against the same good word is exact — which keeps detection results
+// bit-identical to the interpreter at any width.
+func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, potential *fault.Set) {
+	s := wk.s
+	eng := wk.kernel(width)
+	eng.Reset()
+
+	slot0 := 1 // slot of the first faulty machine
+	if spec.good != nil {
+		slot0 = 0 // cached good machine: slot 0 carries a fault too
+	}
+	if need := len(batch) * width; cap(wk.maskBuf) < need {
+		wk.maskBuf = make([]uint64, need)
+	} else {
+		wk.maskBuf = wk.maskBuf[:need]
+		clear(wk.maskBuf)
+	}
+	if cap(wk.vecBuf) < 4*width {
+		wk.vecBuf = make([]uint64, 4*width)
+	} else {
+		wk.vecBuf = wk.vecBuf[:4*width]
+		clear(wk.vecBuf)
+	}
+	batchMask := wk.vecBuf[0*width : 1*width]
+	detMask := wk.vecBuf[1*width : 2*width]
+	diff := wk.vecBuf[2*width : 3*width]
+	pot := wk.vecBuf[3*width : 4*width]
+
+	wk.binjBuf = wk.binjBuf[:0]
+	for bi, fi := range batch {
+		gs := bi + slot0 // global slot of this fault
+		m := wk.maskBuf[bi*width : (bi+1)*width]
+		m[gs>>6] = 1 << (uint(gs) & 63)
+		batchMask[gs>>6] |= m[gs>>6]
+		f := s.faults[fi]
+		wk.binjBuf = append(wk.binjBuf, sim.BatchInjection{Node: f.Node, Pin: f.Pin, Stuck: f.Stuck, Mask: m})
+	}
+	eng.SetInjections(wk.binjBuf)
+
+	s.scanInVec(eng, spec.init)
+
+	profile := spec.profile
+	for u, vec := range spec.seq {
+		if spec.abort != nil && spec.abort.Load() {
+			return // another pass already failed the must-detect check
+		}
+		eng.SetPIVector(vec)
+		eng.EvalComb()
+		clear(diff)
+		clear(pot)
+		for i := range s.c.POs {
+			wv := eng.PO(i)
+			var g logic.Word
+			if spec.good != nil {
+				g = spec.good.po[u][i]
+			} else {
+				g = wv[0].BroadcastSlot(0)
+			}
+			for k := 0; k < width; k++ {
+				diff[k] |= logic.DiffDefinite(wv[k], g)
+			}
+			if potential != nil {
+				gd := g.Defined()
+				for k := 0; k < width; k++ {
+					pot[k] |= gd &^ wv[k].Defined()
+				}
+			}
+		}
+		for k := 0; k < width; k++ {
+			if potential != nil {
+				for m := pot[k] & batchMask[k]; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					potential.Add(batch[k*64+b-slot0])
+				}
+			}
+			d := diff[k] & batchMask[k] &^ detMask[k]
+			if d != 0 {
+				for m := d; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					fi := batch[k*64+b-slot0]
+					detected.Add(fi)
+					if profile != nil {
+						profile.poDetect[fi] = int32(u)
+					}
+				}
+				detMask[k] |= d
+			}
+		}
+		eng.ClockFF()
+		if profile != nil {
+			// Record which faults a scan-out after this clock would catch.
+			clear(diff)
+			for j, ff := range s.observed {
+				wv := eng.State(ff)
+				var g logic.Word
+				if spec.good != nil {
+					g = spec.good.obs[u][j]
+				} else {
+					g = wv[0].BroadcastSlot(0)
+				}
+				for k := 0; k < width; k++ {
+					diff[k] |= logic.DiffDefinite(wv[k], g)
+				}
+			}
+			for k := 0; k < width; k++ {
+				for m := diff[k] & batchMask[k]; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					profile.setStateDiff(batch[k*64+b-slot0], u)
+				}
+			}
+			continue
+		}
+		if potential == nil && masksEqual(detMask, batchMask) {
+			return // every fault in this pass already detected
+		}
+	}
+	if spec.scanOut {
+		last := len(spec.seq) - 1
+		clear(diff)
+		clear(pot)
+		for j, ff := range s.observed {
+			wv := eng.State(ff)
+			var g logic.Word
+			if spec.good != nil && last >= 0 {
+				g = spec.good.obs[last][j]
+			} else {
+				g = wv[0].BroadcastSlot(0)
+			}
+			for k := 0; k < width; k++ {
+				diff[k] |= logic.DiffDefinite(wv[k], g)
+			}
+			if potential != nil {
+				gd := g.Defined()
+				for k := 0; k < width; k++ {
+					pot[k] |= gd &^ wv[k].Defined()
+				}
+			}
+		}
+		for k := 0; k < width; k++ {
+			if potential != nil {
+				for m := pot[k] & batchMask[k]; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					potential.Add(batch[k*64+b-slot0])
+				}
+			}
+			for m := diff[k] & batchMask[k] &^ detMask[k]; m != 0; m &= m - 1 {
+				b := bits.TrailingZeros64(m)
+				detected.Add(batch[k*64+b-slot0])
+			}
+		}
+	}
+}
+
+// scanInVec is scanIn for the batch kernel: scan-in values broadcast to
+// every slot.
+func (s *Simulator) scanInVec(eng *sim.BatchEngine, si logic.Vector) {
+	nff := s.c.NumFFs()
+	if s.chain == nil {
+		if si == nil {
+			si = logic.NewVector(nff, logic.X)
+		}
+		eng.SetStateVector(si)
+		return
+	}
+	eng.SetStateVector(logic.NewVector(nff, logic.X))
+	for k, ff := range s.chain {
+		v := logic.X
+		if si != nil && k < len(si) {
+			v = si[k]
+		}
+		eng.SetStateValue(ff, v)
+	}
+}
+
+// masksEqual reports a == b word for word (equal lengths assumed).
+func masksEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // GoodTrace returns the good-machine trace of seq from init (nil = all X).

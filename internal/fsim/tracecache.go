@@ -28,7 +28,7 @@ type goodTrace struct {
 // injections and records the trace.
 func (w *worker) computeGoodTrace(init logic.Vector, seq logic.Sequence) *goodTrace {
 	s := w.s
-	eng := w.eng
+	eng := w.engine()
 	eng.Reset()
 	s.scanIn(eng, init)
 	tr := &goodTrace{

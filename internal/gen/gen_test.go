@@ -203,6 +203,52 @@ func TestRosterAllGeneratable(t *testing.T) {
 	}
 }
 
+func TestXLRoster(t *testing.T) {
+	entries := XLRoster()
+	if len(entries) != 2 {
+		t.Fatalf("XL roster has %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Params.FFs != e.PaperFFs || e.Scale != 1 {
+			t.Errorf("%s: XL entry must be true scale (FFs=%d paper=%d scale=%d)",
+				e.Params.Name, e.Params.FFs, e.PaperFFs, e.Scale)
+		}
+		if _, ok := FindEntry(e.Params.Name); !ok {
+			t.Errorf("FindEntry misses XL entry %s", e.Params.Name)
+		}
+	}
+	// XL names must not shadow or join the paper roster.
+	for _, n := range RosterNames() {
+		for _, e := range entries {
+			if e.Params.Name == n {
+				t.Errorf("XL entry %s collides with the paper roster", n)
+			}
+		}
+	}
+}
+
+// TestXLRosterGeneratable builds the ISCAS-scale substitutes and checks
+// they really carry benchmark-scale state and logic.
+func TestXLRosterGeneratable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ISCAS-scale generation in -short mode")
+	}
+	for _, e := range XLRoster() {
+		c, err := Generate(e.Params)
+		if err != nil {
+			t.Errorf("%s: %v", e.Params.Name, err)
+			continue
+		}
+		if c.NumFFs() != e.Params.FFs {
+			t.Errorf("%s: FF count %d != %d", e.Params.Name, c.NumFFs(), e.Params.FFs)
+		}
+	}
+	big, _ := RosterCircuit("s35932xl")
+	if big.NumFFs() != 1728 || big.Stats().Gates < 16000 {
+		t.Errorf("s35932xl not ISCAS-scale: %v", big.Stats())
+	}
+}
+
 func randVec(r *rand.Rand, n int) logic.Vector {
 	v := make(logic.Vector, n)
 	for i := range v {

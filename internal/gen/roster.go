@@ -51,12 +51,47 @@ func Roster() []RosterEntry {
 	}
 }
 
-// RosterCircuit generates the substitute for the named roster entry.
-func RosterCircuit(name string) (*circuit.Circuit, bool) {
+// XLRoster returns true-scale substitutes for the roster entries that
+// Roster scales down: flip-flop counts match the genuine benchmarks
+// (s5378: 179 FFs; s35932: 1728 FFs, tens of thousands of gates). These
+// are not part of Roster() — the full pipeline over them is minutes,
+// not seconds — but they drive the batch-kernel benchmarks and any run
+// that asks for them by name (RosterCircuit, workload.RunByName).
+func XLRoster() []RosterEntry {
+	mk := func(name string, seed int64, pi, po, ff, gates, paperFF int) RosterEntry {
+		return RosterEntry{
+			Params:   Params{Name: name, Seed: seed, PIs: pi, POs: po, FFs: ff, Gates: gates},
+			PaperFFs: paperFF,
+			Scale:    1,
+		}
+	}
+	return []RosterEntry{
+		mk("s5378xl", 5378, 35, 49, 179, 1300, 179),
+		mk("s35932xl", 35932, 35, 64, 1728, 16000, 1728),
+	}
+}
+
+// FindEntry looks a roster entry up by name, searching Roster first and
+// then XLRoster.
+func FindEntry(name string) (RosterEntry, bool) {
 	for _, e := range Roster() {
 		if e.Params.Name == name {
-			return MustGenerate(e.Params), true
+			return e, true
 		}
+	}
+	for _, e := range XLRoster() {
+		if e.Params.Name == name {
+			return e, true
+		}
+	}
+	return RosterEntry{}, false
+}
+
+// RosterCircuit generates the substitute for the named roster or
+// XL-roster entry.
+func RosterCircuit(name string) (*circuit.Circuit, bool) {
+	if e, ok := FindEntry(name); ok {
+		return MustGenerate(e.Params), true
 	}
 	return nil, false
 }

@@ -87,6 +87,56 @@ func TestDifferentialSweep(t *testing.T) {
 	}
 }
 
+// TestDifferentialBatchWidths sweeps the compiled kernel's batch width
+// against the scalar reference on roster circuits large enough that the
+// kernel path genuinely engages (several hundred collapsed faults):
+// 64-slot (interpreter), 256-slot and 512-slot passes must all grade
+// identically, under full and partial scan, with and without a cached
+// good trace.
+func TestDifferentialBatchWidths(t *testing.T) {
+	for _, name := range []string{"s298", "s344", "b04"} {
+		c, ok := gen.RosterCircuit(name)
+		if !ok {
+			t.Fatalf("unknown roster circuit %q", name)
+		}
+		faults := fault.Collapse(c)
+		half := make([]int, 0, c.NumFFs()/2)
+		for i := 0; i < c.NumFFs()/2; i++ {
+			half = append(half, i)
+		}
+		partial, err := scan.NewChain(c.NumFFs(), half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, chain := range []*scan.Chain{nil, partial} {
+			cname := "full"
+			if chain != nil {
+				cname = "partial"
+			}
+			t.Run(fmt.Sprintf("%s/%s", name, cname), func(t *testing.T) {
+				t.Parallel()
+				r := rand.New(rand.NewSource(int64(31 + ci)))
+				orc := NewChain(c, faults, chain)
+				si := randVec(r, orc.Nsv(), true)
+				seq := randSeq(r, 10, c.NumPIs(), true)
+				opot := fault.NewSet(len(faults))
+				want := orc.Detect(seq, Options{Init: si, ScanOut: true, Potential: opot})
+				for _, words := range []int{1, 4, 8} {
+					fs := fsim.NewChain(c, faults, chain).SetBatchWords(words)
+					for rep := 0; rep < 2; rep++ {
+						fpot := fault.NewSet(len(faults))
+						got := fs.Detect(seq, fsim.Options{Init: si, ScanOut: true, Potential: fpot})
+						if !got.Equal(want) || !fpot.Equal(opot) {
+							t.Fatalf("words=%d rep=%d: sets differ from oracle (hard %d/%d, potential %d/%d)",
+								words, rep, got.Count(), want.Count(), fpot.Count(), opot.Count())
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestDifferentialGenerated drives the comparison on freshly generated
 // circuits outside the roster, so the sweep is not tied to the roster's
 // generator parameters.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/samples"
 	"repro/internal/scan"
+	"repro/internal/sim"
 )
 
 // corpusTest builds a deterministic seed test for a sample circuit.
@@ -97,6 +98,72 @@ func FuzzDifferential(f *testing.F) {
 			}
 			if got := fs.Detect(tst.Seq, fsim.Options{Init: tst.SI, ScanOut: true}); !got.Equal(want) {
 				t.Fatalf("workers=%d: standard-mode set differs", workers)
+			}
+		}
+	})
+}
+
+// FuzzKernelDifferential cross-checks the compiled batch kernel against
+// the interpreter engine node for node on fuzzer-shaped circuits. The
+// faults go straight into BatchEngine injections spread over every word
+// of a 2-word batch — bypassing fsim's adaptive width, which would fall
+// back to the interpreter on circuits this small — so the kernel's
+// compile/decompose/patch machinery itself is what the fuzzer stresses.
+func FuzzKernelDifferential(f *testing.F) {
+	for _, c := range corpusCircuits() {
+		if data, err := EncodeFuzz(c, corpusTest(c, 6)); err == nil {
+			f.Add(data)
+		} else {
+			f.Fatalf("%s: corpus encode: %v", c.Name, err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, tst, err := DecodeFuzz(data)
+		if err != nil {
+			t.Skip()
+		}
+		const words = 2
+		faults := fault.Collapse(c)
+		be := sim.NewBatch(sim.Compile(c), words)
+		injs := make([]sim.BatchInjection, 0, len(faults))
+		perWord := make([][]sim.Injection, words)
+		for i, fl := range faults {
+			slot := 1 + i%(64*words-1)
+			mask := make([]uint64, words)
+			mask[slot>>6] = 1 << (uint(slot) & 63)
+			injs = append(injs, sim.BatchInjection{Node: fl.Node, Pin: fl.Pin, Stuck: fl.Stuck, Mask: mask})
+			perWord[slot>>6] = append(perWord[slot>>6], fl.Injection(mask[slot>>6]))
+		}
+		be.SetInjections(injs)
+		be.SetStateVector(tst.SI)
+		engines := make([]*sim.Engine, words)
+		for j := range engines {
+			engines[j] = sim.New(c)
+			engines[j].SetInjections(perWord[j])
+			engines[j].SetStateVector(tst.SI)
+		}
+		for u, vec := range tst.Seq {
+			be.SetPIVector(vec)
+			be.EvalComb()
+			for j, eng := range engines {
+				eng.SetPIVector(vec)
+				eng.EvalComb()
+				for n := 0; n < c.NumNodes(); n++ {
+					if be.Val(n)[j] != eng.Val(n) {
+						t.Fatalf("u=%d eval node %d (%s) word %d: kernel %+v, engine %+v",
+							u, n, c.Nodes[n].Name, j, be.Val(n)[j], eng.Val(n))
+					}
+				}
+			}
+			be.ClockFF()
+			for j, eng := range engines {
+				eng.ClockFF()
+				for n := 0; n < c.NumNodes(); n++ {
+					if be.Val(n)[j] != eng.Val(n) {
+						t.Fatalf("u=%d clock node %d word %d: kernel %+v, engine %+v",
+							u, n, j, be.Val(n)[j], eng.Val(n))
+					}
+				}
 			}
 		}
 	})

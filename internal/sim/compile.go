@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// This file lowers a levelized circuit into a straight-line program of
+// two-input dual-rail word operations — the compile step of the batch
+// kernel in kernel.go. Compilation happens once per circuit; the
+// resulting Program is immutable and shared by any number of
+// BatchEngines (one per fault-simulation worker).
+//
+// Wide gates (fanin > 2) are decomposed at compile time into a
+// left-fold chain through one scratch slot, exactly mirroring the fold
+// order of Engine.evalGateFast, so the three-valued result of every
+// node is bit-identical to the interpreter's. Inverting kinds
+// (NAND/NOR/XNOR) fold with the non-inverting opcode and invert on the
+// final instruction. One-input gates degenerate to BUF/NOT, again
+// matching the interpreter.
+
+// opcode identifies one dual-rail word operation of the compiled
+// program. All binary opcodes take exactly two operands; wide gates are
+// decomposed by the compiler.
+type opcode uint8
+
+const (
+	opBuf opcode = iota
+	opNot
+	opAnd2
+	opNand2
+	opOr2
+	opNor2
+	opXor2
+	opXnor2
+)
+
+// instr is one straight-line program step: slot dst receives op applied
+// to slots a and b (b is ignored by the unary opcodes). Slot indices
+// address the kernel's value arena: slots [0, NumNodes) are circuit
+// nodes, slots beyond that are compiler temporaries.
+type instr struct {
+	op   opcode
+	dst  int32
+	a, b int32
+}
+
+// Program is a compiled circuit: the instruction stream plus the slot
+// geometry a BatchEngine needs to allocate its value arena. A Program
+// is immutable after Compile and safe for concurrent use.
+type Program struct {
+	c      *circuit.Circuit
+	instrs []instr
+	nslots int     // NumNodes + compiler temporaries
+	const0 []int32 // Const0 node slots, driven before every evaluation
+	const1 []int32 // Const1 node slots
+}
+
+// Compile lowers c into a straight-line dual-rail program. The
+// instruction stream evaluates every combinational node in topological
+// order; sources (PIs, DFF outputs, constants) are arena slots written
+// by the BatchEngine before execution.
+func Compile(c *circuit.Circuit) *Program {
+	p := &Program{c: c, nslots: c.NumNodes()}
+	scratch := int32(-1)
+	temp := func() int32 {
+		if scratch < 0 {
+			scratch = int32(p.nslots)
+			p.nslots++
+		}
+		return scratch
+	}
+	for i := range c.Nodes {
+		switch c.Nodes[i].Kind {
+		case circuit.Const0:
+			p.const0 = append(p.const0, int32(i))
+		case circuit.Const1:
+			p.const1 = append(p.const1, int32(i))
+		}
+	}
+	for _, n := range c.EvalOrder() {
+		nd := &c.Nodes[n]
+		fan := nd.Fanin
+		dst := int32(n)
+		var fold, final opcode
+		switch nd.Kind {
+		case circuit.Not:
+			p.instrs = append(p.instrs, instr{op: opNot, dst: dst, a: int32(fan[0])})
+			continue
+		case circuit.Buf:
+			p.instrs = append(p.instrs, instr{op: opBuf, dst: dst, a: int32(fan[0])})
+			continue
+		case circuit.And:
+			fold, final = opAnd2, opAnd2
+		case circuit.Nand:
+			fold, final = opAnd2, opNand2
+		case circuit.Or:
+			fold, final = opOr2, opOr2
+		case circuit.Nor:
+			fold, final = opOr2, opNor2
+		case circuit.Xor:
+			fold, final = opXor2, opXor2
+		case circuit.Xnor:
+			fold, final = opXor2, opXnor2
+		default:
+			panic(fmt.Sprintf("sim: compile of non-gate node %d (%v)", n, nd.Kind))
+		}
+		if len(fan) == 1 {
+			// Degenerate gate: the interpreter returns the fanin value,
+			// inverted for the inverting kinds.
+			op := opBuf
+			if final != fold {
+				op = opNot
+			}
+			p.instrs = append(p.instrs, instr{op: op, dst: dst, a: int32(fan[0])})
+			continue
+		}
+		cur := int32(fan[0])
+		for i := 1; i < len(fan)-1; i++ {
+			t := temp()
+			p.instrs = append(p.instrs, instr{op: fold, dst: t, a: cur, b: int32(fan[i])})
+			cur = t
+		}
+		p.instrs = append(p.instrs, instr{op: final, dst: dst, a: cur, b: int32(fan[len(fan)-1])})
+	}
+	return p
+}
+
+// Circuit returns the netlist the program was compiled from.
+func (p *Program) Circuit() *circuit.Circuit { return p.c }
+
+// NumInstrs returns the instruction count (decomposed wide gates emit
+// one instruction per two-input fold step).
+func (p *Program) NumInstrs() int { return len(p.instrs) }
+
+// NumSlots returns the arena slot count (nodes plus temporaries).
+func (p *Program) NumSlots() int { return p.nslots }

@@ -1,0 +1,613 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// BatchInjection forces a stuck value onto a signal in a subset of the
+// 64*W slots of a BatchEngine. Pin == -1 forces the output of Node (a
+// stem fault); Pin >= 0 forces the value Node reads from its Pin-th
+// fanin. Mask holds one word per batch word (bit k of Mask[j] selects
+// slot j*64+k); words beyond len(Mask) are unaffected.
+type BatchInjection struct {
+	Node  int
+	Pin   int
+	Stuck logic.Value
+	Mask  []uint64
+
+	// Set by SetInjections on its internal copies: the half-open range
+	// [lo, hi) of nonzero Mask words and the broadcast stuck word, so the
+	// patch pass touches only the words a fault actually lives in.
+	lo, hi int
+	fw     logic.Word
+}
+
+// Injection flag bits, per arena slot.
+const (
+	flagOut uint8 = 1 << iota
+	flagPin
+)
+
+// BatchEngine executes a compiled Program over W-word batches: 64*W
+// parallel slots per signal instead of the interpreter Engine's 64. The
+// value arena is allocated once (at the capacity width) and reused
+// across passes; the hot loop is a single sweep over the instruction
+// stream with no per-gate kind dispatch or fanin-slice walking.
+//
+// Injections are handled as a patch pass: every node evaluates through
+// the fast instruction first, and the few nodes carrying injections are
+// fixed immediately after their final instruction (re-evaluated with
+// forced fanins for pin injections, masked-merged for output
+// injections), preserving topological consistency for downstream
+// reads. The three-valued semantics, fold order and injection
+// application order match Engine exactly, so results are bit-identical
+// slot for slot.
+type BatchEngine struct {
+	p   *Program
+	c   *circuit.Circuit
+	cap int // allocated width in words
+	w   int // active width in words (<= cap)
+
+	vals []logic.Word // value arena: slot s occupies vals[s*w : (s+1)*w]
+
+	outInj   [][]BatchInjection // by node whose output is forced
+	pinInj   [][]BatchInjection // by consumer node
+	flags    []uint8            // per slot; temporaries stay 0
+	touched  []int
+	srcInj   []int // injected source nodes, forced at EvalComb start
+	injected bool
+
+	scratch []logic.Word // per-DFF next-state buffer (nff * cap)
+}
+
+// NewBatch returns a BatchEngine executing p over w-word batches, with
+// all signals X. The width is also the engine's capacity: SetWidth can
+// later shrink (and re-grow) the active width without reallocating.
+func NewBatch(p *Program, w int) *BatchEngine {
+	if w < 1 {
+		w = 1
+	}
+	c := p.c
+	e := &BatchEngine{
+		p:       p,
+		c:       c,
+		cap:     w,
+		w:       w,
+		vals:    make([]logic.Word, p.nslots*w),
+		outInj:  make([][]BatchInjection, c.NumNodes()),
+		pinInj:  make([][]BatchInjection, c.NumNodes()),
+		flags:   make([]uint8, p.nslots),
+		scratch: make([]logic.Word, c.NumFFs()*w),
+	}
+	return e
+}
+
+// Circuit returns the netlist this engine simulates.
+func (e *BatchEngine) Circuit() *circuit.Circuit { return e.c }
+
+// Program returns the compiled program this engine executes.
+func (e *BatchEngine) Program() *Program { return e.p }
+
+// Width returns the active batch width in words.
+func (e *BatchEngine) Width() int { return e.w }
+
+// Cap returns the allocated capacity width in words.
+func (e *BatchEngine) Cap() int { return e.cap }
+
+// SetWidth switches the active batch width to w (1 <= w <= Cap) and
+// resets the engine. Passes of different widths can so share one arena.
+func (e *BatchEngine) SetWidth(w int) {
+	if w < 1 || w > e.cap {
+		panic(fmt.Sprintf("sim: SetWidth(%d) outside [1, %d]", w, e.cap))
+	}
+	e.w = w
+	e.Reset()
+}
+
+// slot returns the value words of arena slot s.
+func (e *BatchEngine) slot(s int) logic.WordVec {
+	return e.vals[s*e.w : (s+1)*e.w : (s+1)*e.w]
+}
+
+// Reset sets every signal to X in all slots and clears injections.
+func (e *BatchEngine) Reset() {
+	clear(e.vals[:e.p.nslots*e.w])
+	e.clearInjections()
+}
+
+func (e *BatchEngine) clearInjections() {
+	for _, n := range e.touched {
+		// Truncate instead of nil: fault simulation re-injects the same
+		// nodes pass after pass, so keeping per-node capacity warm avoids
+		// an allocation per injection per pass.
+		e.outInj[n] = e.outInj[n][:0]
+		e.pinInj[n] = e.pinInj[n][:0]
+		e.flags[n] = 0
+	}
+	e.touched = e.touched[:0]
+	e.srcInj = e.srcInj[:0]
+	e.injected = false
+}
+
+// SetInjections installs the active fault injections, replacing any
+// previous set. Callers must keep each Mask alive and unchanged until
+// the next SetInjections or Reset.
+func (e *BatchEngine) SetInjections(injs []BatchInjection) {
+	e.clearInjections()
+	if len(injs) == 0 {
+		return
+	}
+	e.injected = true
+	for _, in := range injs {
+		in.lo = 0
+		in.hi = len(in.Mask)
+		for in.lo < in.hi && in.Mask[in.lo] == 0 {
+			in.lo++
+		}
+		for in.hi > in.lo && in.Mask[in.hi-1] == 0 {
+			in.hi--
+		}
+		in.fw = logic.FromValue(in.Stuck)
+		if e.flags[in.Node] == 0 {
+			e.touched = append(e.touched, in.Node)
+		}
+		if in.Pin < 0 {
+			e.outInj[in.Node] = append(e.outInj[in.Node], in)
+			if e.flags[in.Node]&flagOut == 0 {
+				e.flags[in.Node] |= flagOut
+				if e.c.IsSource(in.Node) {
+					e.srcInj = append(e.srcInj, in.Node)
+				}
+			}
+		} else {
+			e.pinInj[in.Node] = append(e.pinInj[in.Node], in)
+			e.flags[in.Node] |= flagPin
+		}
+	}
+}
+
+// SetPIVector broadcasts a scalar PI vector to all slots.
+func (e *BatchEngine) SetPIVector(vec logic.Vector) {
+	w := e.w
+	for i, pi := range e.c.PIs {
+		v := logic.X
+		if i < len(vec) {
+			v = vec[i]
+		}
+		wd := logic.FromValue(v)
+		d := e.vals[pi*w : (pi+1)*w]
+		for k := range d {
+			d[k] = wd
+		}
+	}
+}
+
+// SetStateVector broadcasts a scalar state (scan-in vector) to all
+// slots; positions beyond len(vec) become X.
+func (e *BatchEngine) SetStateVector(vec logic.Vector) {
+	for i := range e.c.DFFs {
+		v := logic.X
+		if i < len(vec) {
+			v = vec[i]
+		}
+		e.SetStateValue(i, v)
+	}
+}
+
+// SetStateValue broadcasts a scalar value to the i-th flip-flop
+// (scan order) in all slots.
+func (e *BatchEngine) SetStateValue(i int, v logic.Value) {
+	e.slot(e.c.DFFs[i]).Fill(logic.FromValue(v))
+}
+
+// SetNodeVec copies wv (up to the active width) into node n's slots —
+// the batch analogue of Engine.SetNode, for driving arbitrary per-slot
+// patterns in tests.
+func (e *BatchEngine) SetNodeVec(n int, wv logic.WordVec) {
+	copy(e.slot(n), wv)
+}
+
+// Val returns the current value words of node n. The returned slice
+// aliases the arena; treat it as read-only.
+func (e *BatchEngine) Val(n int) logic.WordVec { return e.slot(n) }
+
+// PO returns the value words of the i-th primary output (read-only).
+func (e *BatchEngine) PO(i int) logic.WordVec { return e.slot(e.c.POs[i]) }
+
+// State returns the value words of the i-th flip-flop (read-only).
+func (e *BatchEngine) State(i int) logic.WordVec { return e.slot(e.c.DFFs[i]) }
+
+// EvalComb evaluates the combinational network from the current PI and
+// state values: constants are driven, source-output injections applied,
+// then the instruction stream executes with injected nodes patched in
+// topological position.
+func (e *BatchEngine) EvalComb() {
+	for _, n := range e.p.const0 {
+		e.slot(int(n)).Fill(logic.AllZero)
+	}
+	for _, n := range e.p.const1 {
+		e.slot(int(n)).Fill(logic.AllOne)
+	}
+	for _, n := range e.srcInj {
+		e.applyOut(n)
+	}
+	e.exec()
+}
+
+// exec runs the compiled instruction stream over the active width. This
+// is the hottest loop in the repository: keep it allocation-free and
+// branch-predictable. The common widths dispatch to specializations
+// whose value accesses go through fixed-size array pointers — no slice
+// headers, no bounds checks, constant loop trip counts — which is worth
+// ~2x per instruction over the variable-width loop below.
+func (e *BatchEngine) exec() {
+	switch e.w {
+	case 4:
+		e.exec4()
+		return
+	case 8:
+		e.exec8()
+		return
+	}
+	w := e.w
+	vals := e.vals
+	flags := e.flags
+	for _, ins := range e.p.instrs {
+		di := int(ins.dst) * w
+		ai := int(ins.a) * w
+		d := vals[di : di+w : di+w]
+		a := vals[ai : ai+w : ai+w]
+		switch ins.op {
+		case opBuf:
+			copy(d, a)
+		case opNot:
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{Zero: a[i].One, One: a[i].Zero}
+			}
+		case opAnd2:
+			bi := int(ins.b) * w
+			bb := vals[bi : bi+w : bi+w]
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{Zero: a[i].Zero | bb[i].Zero, One: a[i].One & bb[i].One}
+			}
+		case opNand2:
+			bi := int(ins.b) * w
+			bb := vals[bi : bi+w : bi+w]
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{Zero: a[i].One & bb[i].One, One: a[i].Zero | bb[i].Zero}
+			}
+		case opOr2:
+			bi := int(ins.b) * w
+			bb := vals[bi : bi+w : bi+w]
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{Zero: a[i].Zero & bb[i].Zero, One: a[i].One | bb[i].One}
+			}
+		case opNor2:
+			bi := int(ins.b) * w
+			bb := vals[bi : bi+w : bi+w]
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{Zero: a[i].One | bb[i].One, One: a[i].Zero & bb[i].Zero}
+			}
+		case opXor2:
+			bi := int(ins.b) * w
+			bb := vals[bi : bi+w : bi+w]
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{
+					Zero: a[i].Zero&bb[i].Zero | a[i].One&bb[i].One,
+					One:  a[i].Zero&bb[i].One | a[i].One&bb[i].Zero,
+				}
+			}
+		case opXnor2:
+			bi := int(ins.b) * w
+			bb := vals[bi : bi+w : bi+w]
+			for i := 0; i < w; i++ {
+				d[i] = logic.Word{
+					Zero: a[i].Zero&bb[i].One | a[i].One&bb[i].Zero,
+					One:  a[i].Zero&bb[i].Zero | a[i].One&bb[i].One,
+				}
+			}
+		}
+		if flags[ins.dst] != 0 {
+			e.fix(int(ins.dst))
+		}
+	}
+}
+
+// exec4 is exec specialized for the default 4-word width (256 slots).
+// Array-pointer conversion pins the operand width at compile time: the
+// compiler drops every bounds check and the loop setup per instruction.
+func (e *BatchEngine) exec4() {
+	vals := e.vals
+	flags := e.flags
+	for _, ins := range e.p.instrs {
+		d := (*[4]logic.Word)(vals[int(ins.dst)*4:])
+		a := (*[4]logic.Word)(vals[int(ins.a)*4:])
+		switch ins.op {
+		case opBuf:
+			*d = *a
+		case opNot:
+			d[0] = logic.Word{Zero: a[0].One, One: a[0].Zero}
+			d[1] = logic.Word{Zero: a[1].One, One: a[1].Zero}
+			d[2] = logic.Word{Zero: a[2].One, One: a[2].Zero}
+			d[3] = logic.Word{Zero: a[3].One, One: a[3].Zero}
+		case opAnd2:
+			bb := (*[4]logic.Word)(vals[int(ins.b)*4:])
+			d[0] = logic.Word{Zero: a[0].Zero | bb[0].Zero, One: a[0].One & bb[0].One}
+			d[1] = logic.Word{Zero: a[1].Zero | bb[1].Zero, One: a[1].One & bb[1].One}
+			d[2] = logic.Word{Zero: a[2].Zero | bb[2].Zero, One: a[2].One & bb[2].One}
+			d[3] = logic.Word{Zero: a[3].Zero | bb[3].Zero, One: a[3].One & bb[3].One}
+		case opNand2:
+			bb := (*[4]logic.Word)(vals[int(ins.b)*4:])
+			d[0] = logic.Word{Zero: a[0].One & bb[0].One, One: a[0].Zero | bb[0].Zero}
+			d[1] = logic.Word{Zero: a[1].One & bb[1].One, One: a[1].Zero | bb[1].Zero}
+			d[2] = logic.Word{Zero: a[2].One & bb[2].One, One: a[2].Zero | bb[2].Zero}
+			d[3] = logic.Word{Zero: a[3].One & bb[3].One, One: a[3].Zero | bb[3].Zero}
+		case opOr2:
+			bb := (*[4]logic.Word)(vals[int(ins.b)*4:])
+			d[0] = logic.Word{Zero: a[0].Zero & bb[0].Zero, One: a[0].One | bb[0].One}
+			d[1] = logic.Word{Zero: a[1].Zero & bb[1].Zero, One: a[1].One | bb[1].One}
+			d[2] = logic.Word{Zero: a[2].Zero & bb[2].Zero, One: a[2].One | bb[2].One}
+			d[3] = logic.Word{Zero: a[3].Zero & bb[3].Zero, One: a[3].One | bb[3].One}
+		case opNor2:
+			bb := (*[4]logic.Word)(vals[int(ins.b)*4:])
+			d[0] = logic.Word{Zero: a[0].One | bb[0].One, One: a[0].Zero & bb[0].Zero}
+			d[1] = logic.Word{Zero: a[1].One | bb[1].One, One: a[1].Zero & bb[1].Zero}
+			d[2] = logic.Word{Zero: a[2].One | bb[2].One, One: a[2].Zero & bb[2].Zero}
+			d[3] = logic.Word{Zero: a[3].One | bb[3].One, One: a[3].Zero & bb[3].Zero}
+		case opXor2:
+			bb := (*[4]logic.Word)(vals[int(ins.b)*4:])
+			d[0] = logic.Word{Zero: a[0].Zero&bb[0].Zero | a[0].One&bb[0].One, One: a[0].Zero&bb[0].One | a[0].One&bb[0].Zero}
+			d[1] = logic.Word{Zero: a[1].Zero&bb[1].Zero | a[1].One&bb[1].One, One: a[1].Zero&bb[1].One | a[1].One&bb[1].Zero}
+			d[2] = logic.Word{Zero: a[2].Zero&bb[2].Zero | a[2].One&bb[2].One, One: a[2].Zero&bb[2].One | a[2].One&bb[2].Zero}
+			d[3] = logic.Word{Zero: a[3].Zero&bb[3].Zero | a[3].One&bb[3].One, One: a[3].Zero&bb[3].One | a[3].One&bb[3].Zero}
+		case opXnor2:
+			bb := (*[4]logic.Word)(vals[int(ins.b)*4:])
+			d[0] = logic.Word{Zero: a[0].Zero&bb[0].One | a[0].One&bb[0].Zero, One: a[0].Zero&bb[0].Zero | a[0].One&bb[0].One}
+			d[1] = logic.Word{Zero: a[1].Zero&bb[1].One | a[1].One&bb[1].Zero, One: a[1].Zero&bb[1].Zero | a[1].One&bb[1].One}
+			d[2] = logic.Word{Zero: a[2].Zero&bb[2].One | a[2].One&bb[2].Zero, One: a[2].Zero&bb[2].Zero | a[2].One&bb[2].One}
+			d[3] = logic.Word{Zero: a[3].Zero&bb[3].One | a[3].One&bb[3].Zero, One: a[3].Zero&bb[3].Zero | a[3].One&bb[3].One}
+		}
+		if flags[ins.dst] != 0 {
+			e.fix(int(ins.dst))
+		}
+	}
+}
+
+// exec8 is exec specialized for 8-word batches (512 slots).
+func (e *BatchEngine) exec8() {
+	vals := e.vals
+	flags := e.flags
+	for _, ins := range e.p.instrs {
+		d := (*[8]logic.Word)(vals[int(ins.dst)*8:])
+		a := (*[8]logic.Word)(vals[int(ins.a)*8:])
+		switch ins.op {
+		case opBuf:
+			*d = *a
+		case opNot:
+			d[0] = logic.Word{Zero: a[0].One, One: a[0].Zero}
+			d[1] = logic.Word{Zero: a[1].One, One: a[1].Zero}
+			d[2] = logic.Word{Zero: a[2].One, One: a[2].Zero}
+			d[3] = logic.Word{Zero: a[3].One, One: a[3].Zero}
+			d[4] = logic.Word{Zero: a[4].One, One: a[4].Zero}
+			d[5] = logic.Word{Zero: a[5].One, One: a[5].Zero}
+			d[6] = logic.Word{Zero: a[6].One, One: a[6].Zero}
+			d[7] = logic.Word{Zero: a[7].One, One: a[7].Zero}
+		case opAnd2:
+			bb := (*[8]logic.Word)(vals[int(ins.b)*8:])
+			d[0] = logic.Word{Zero: a[0].Zero | bb[0].Zero, One: a[0].One & bb[0].One}
+			d[1] = logic.Word{Zero: a[1].Zero | bb[1].Zero, One: a[1].One & bb[1].One}
+			d[2] = logic.Word{Zero: a[2].Zero | bb[2].Zero, One: a[2].One & bb[2].One}
+			d[3] = logic.Word{Zero: a[3].Zero | bb[3].Zero, One: a[3].One & bb[3].One}
+			d[4] = logic.Word{Zero: a[4].Zero | bb[4].Zero, One: a[4].One & bb[4].One}
+			d[5] = logic.Word{Zero: a[5].Zero | bb[5].Zero, One: a[5].One & bb[5].One}
+			d[6] = logic.Word{Zero: a[6].Zero | bb[6].Zero, One: a[6].One & bb[6].One}
+			d[7] = logic.Word{Zero: a[7].Zero | bb[7].Zero, One: a[7].One & bb[7].One}
+		case opNand2:
+			bb := (*[8]logic.Word)(vals[int(ins.b)*8:])
+			d[0] = logic.Word{Zero: a[0].One & bb[0].One, One: a[0].Zero | bb[0].Zero}
+			d[1] = logic.Word{Zero: a[1].One & bb[1].One, One: a[1].Zero | bb[1].Zero}
+			d[2] = logic.Word{Zero: a[2].One & bb[2].One, One: a[2].Zero | bb[2].Zero}
+			d[3] = logic.Word{Zero: a[3].One & bb[3].One, One: a[3].Zero | bb[3].Zero}
+			d[4] = logic.Word{Zero: a[4].One & bb[4].One, One: a[4].Zero | bb[4].Zero}
+			d[5] = logic.Word{Zero: a[5].One & bb[5].One, One: a[5].Zero | bb[5].Zero}
+			d[6] = logic.Word{Zero: a[6].One & bb[6].One, One: a[6].Zero | bb[6].Zero}
+			d[7] = logic.Word{Zero: a[7].One & bb[7].One, One: a[7].Zero | bb[7].Zero}
+		case opOr2:
+			bb := (*[8]logic.Word)(vals[int(ins.b)*8:])
+			d[0] = logic.Word{Zero: a[0].Zero & bb[0].Zero, One: a[0].One | bb[0].One}
+			d[1] = logic.Word{Zero: a[1].Zero & bb[1].Zero, One: a[1].One | bb[1].One}
+			d[2] = logic.Word{Zero: a[2].Zero & bb[2].Zero, One: a[2].One | bb[2].One}
+			d[3] = logic.Word{Zero: a[3].Zero & bb[3].Zero, One: a[3].One | bb[3].One}
+			d[4] = logic.Word{Zero: a[4].Zero & bb[4].Zero, One: a[4].One | bb[4].One}
+			d[5] = logic.Word{Zero: a[5].Zero & bb[5].Zero, One: a[5].One | bb[5].One}
+			d[6] = logic.Word{Zero: a[6].Zero & bb[6].Zero, One: a[6].One | bb[6].One}
+			d[7] = logic.Word{Zero: a[7].Zero & bb[7].Zero, One: a[7].One | bb[7].One}
+		case opNor2:
+			bb := (*[8]logic.Word)(vals[int(ins.b)*8:])
+			d[0] = logic.Word{Zero: a[0].One | bb[0].One, One: a[0].Zero & bb[0].Zero}
+			d[1] = logic.Word{Zero: a[1].One | bb[1].One, One: a[1].Zero & bb[1].Zero}
+			d[2] = logic.Word{Zero: a[2].One | bb[2].One, One: a[2].Zero & bb[2].Zero}
+			d[3] = logic.Word{Zero: a[3].One | bb[3].One, One: a[3].Zero & bb[3].Zero}
+			d[4] = logic.Word{Zero: a[4].One | bb[4].One, One: a[4].Zero & bb[4].Zero}
+			d[5] = logic.Word{Zero: a[5].One | bb[5].One, One: a[5].Zero & bb[5].Zero}
+			d[6] = logic.Word{Zero: a[6].One | bb[6].One, One: a[6].Zero & bb[6].Zero}
+			d[7] = logic.Word{Zero: a[7].One | bb[7].One, One: a[7].Zero & bb[7].Zero}
+		case opXor2:
+			bb := (*[8]logic.Word)(vals[int(ins.b)*8:])
+			d[0] = logic.Word{Zero: a[0].Zero&bb[0].Zero | a[0].One&bb[0].One, One: a[0].Zero&bb[0].One | a[0].One&bb[0].Zero}
+			d[1] = logic.Word{Zero: a[1].Zero&bb[1].Zero | a[1].One&bb[1].One, One: a[1].Zero&bb[1].One | a[1].One&bb[1].Zero}
+			d[2] = logic.Word{Zero: a[2].Zero&bb[2].Zero | a[2].One&bb[2].One, One: a[2].Zero&bb[2].One | a[2].One&bb[2].Zero}
+			d[3] = logic.Word{Zero: a[3].Zero&bb[3].Zero | a[3].One&bb[3].One, One: a[3].Zero&bb[3].One | a[3].One&bb[3].Zero}
+			d[4] = logic.Word{Zero: a[4].Zero&bb[4].Zero | a[4].One&bb[4].One, One: a[4].Zero&bb[4].One | a[4].One&bb[4].Zero}
+			d[5] = logic.Word{Zero: a[5].Zero&bb[5].Zero | a[5].One&bb[5].One, One: a[5].Zero&bb[5].One | a[5].One&bb[5].Zero}
+			d[6] = logic.Word{Zero: a[6].Zero&bb[6].Zero | a[6].One&bb[6].One, One: a[6].Zero&bb[6].One | a[6].One&bb[6].Zero}
+			d[7] = logic.Word{Zero: a[7].Zero&bb[7].Zero | a[7].One&bb[7].One, One: a[7].Zero&bb[7].One | a[7].One&bb[7].Zero}
+		case opXnor2:
+			bb := (*[8]logic.Word)(vals[int(ins.b)*8:])
+			d[0] = logic.Word{Zero: a[0].Zero&bb[0].One | a[0].One&bb[0].Zero, One: a[0].Zero&bb[0].Zero | a[0].One&bb[0].One}
+			d[1] = logic.Word{Zero: a[1].Zero&bb[1].One | a[1].One&bb[1].Zero, One: a[1].Zero&bb[1].Zero | a[1].One&bb[1].One}
+			d[2] = logic.Word{Zero: a[2].Zero&bb[2].One | a[2].One&bb[2].Zero, One: a[2].Zero&bb[2].Zero | a[2].One&bb[2].One}
+			d[3] = logic.Word{Zero: a[3].Zero&bb[3].One | a[3].One&bb[3].Zero, One: a[3].Zero&bb[3].Zero | a[3].One&bb[3].One}
+			d[4] = logic.Word{Zero: a[4].Zero&bb[4].One | a[4].One&bb[4].Zero, One: a[4].Zero&bb[4].Zero | a[4].One&bb[4].One}
+			d[5] = logic.Word{Zero: a[5].Zero&bb[5].One | a[5].One&bb[5].Zero, One: a[5].Zero&bb[5].Zero | a[5].One&bb[5].One}
+			d[6] = logic.Word{Zero: a[6].Zero&bb[6].One | a[6].One&bb[6].Zero, One: a[6].Zero&bb[6].Zero | a[6].One&bb[6].One}
+			d[7] = logic.Word{Zero: a[7].Zero&bb[7].One | a[7].One&bb[7].Zero, One: a[7].Zero&bb[7].Zero | a[7].One&bb[7].One}
+		}
+		if flags[ins.dst] != 0 {
+			e.fix(int(ins.dst))
+		}
+	}
+}
+
+// fix patches an injected node right after its final instruction: a pin
+// injection re-evaluates the whole gate with forced fanins (the slow
+// path), an output injection merges the stuck value into the masked
+// slots. Both orders match Engine.EvalComb.
+func (e *BatchEngine) fix(n int) {
+	if e.flags[n]&flagPin != 0 {
+		e.evalForced(n)
+	}
+	if e.flags[n]&flagOut != 0 {
+		e.applyOut(n)
+	}
+}
+
+// applyOut merges node n's output injections into its value slots.
+func (e *BatchEngine) applyOut(n int) {
+	w := e.w
+	d := e.vals[n*w : (n+1)*w : (n+1)*w]
+	inj := e.outInj[n]
+	for j := range inj {
+		in := &inj[j]
+		hi := in.hi
+		if hi > w {
+			hi = w
+		}
+		for i := in.lo; i < hi; i++ {
+			if mask := in.Mask[i]; mask != 0 {
+				d[i] = d[i].Merge(in.fw, mask)
+			}
+		}
+	}
+}
+
+// evalForced patches gate n after its fast instruction: only the words
+// whose slots carry a pin injection are re-folded (with forced fanins);
+// every other word keeps the fast result, which is bit-identical to the
+// unforced fold. A fault pins a handful of slots, so this costs O(pins)
+// per flagged gate instead of O(width) — the patch pass stays constant
+// as the batch widens.
+func (e *BatchEngine) evalForced(n int) {
+	w := e.w
+	inj := e.pinInj[n]
+	for j := range inj {
+		in := &inj[j]
+		hi := in.hi
+		if hi > w {
+			hi = w
+		}
+		for i := in.lo; i < hi; i++ {
+			// A word shared by two injections is re-folded once per
+			// injection; the second fold writes the same bits, so the
+			// duplicate work is harmless (and rare).
+			if in.Mask[i] != 0 {
+				e.evalForcedWord(n, i)
+			}
+		}
+	}
+}
+
+// faninForcedWord returns word i of the value node n reads from its
+// p-th fanin, with pin injections on that word applied.
+func (e *BatchEngine) faninForcedWord(n, p, i int) logic.Word {
+	v := e.vals[e.c.Nodes[n].Fanin[p]*e.w+i]
+	inj := e.pinInj[n]
+	for j := range inj {
+		if in := &inj[j]; in.Pin == p && i < len(in.Mask) && in.Mask[i] != 0 {
+			v = v.Merge(in.fw, in.Mask[i])
+		}
+	}
+	return v
+}
+
+// evalForcedWord re-evaluates word i of gate n reading every fanin
+// through faninForcedWord, folding from the identity element exactly
+// like Engine.evalGate.
+func (e *BatchEngine) evalForcedWord(n, i int) {
+	nd := &e.c.Nodes[n]
+	var v logic.Word
+	switch nd.Kind {
+	case circuit.Not:
+		v = e.faninForcedWord(n, 0, i).Not()
+	case circuit.Buf:
+		v = e.faninForcedWord(n, 0, i)
+	case circuit.And, circuit.Nand:
+		v = logic.AllOne
+		for p := range nd.Fanin {
+			v = v.And(e.faninForcedWord(n, p, i))
+		}
+		if nd.Kind == circuit.Nand {
+			v = v.Not()
+		}
+	case circuit.Or, circuit.Nor:
+		v = logic.AllZero
+		for p := range nd.Fanin {
+			v = v.Or(e.faninForcedWord(n, p, i))
+		}
+		if nd.Kind == circuit.Nor {
+			v = v.Not()
+		}
+	case circuit.Xor, circuit.Xnor:
+		v = logic.AllZero
+		for p := range nd.Fanin {
+			v = v.Xor(e.faninForcedWord(n, p, i))
+		}
+		if nd.Kind == circuit.Xnor {
+			v = v.Not()
+		}
+	default:
+		panic(fmt.Sprintf("sim: evalForced on non-gate node %d (%v)", n, nd.Kind))
+	}
+	e.vals[n*e.w+i] = v
+}
+
+// ClockFF latches the current D values (with DFF pin injections) into
+// the flip-flops, applying output injections on DFF nodes.
+func (e *BatchEngine) ClockFF() {
+	w := e.w
+	for i, ff := range e.c.DFFs {
+		dst := e.scratch[i*w : (i+1)*w]
+		copy(dst, e.slot(e.c.Nodes[ff].Fanin[0]))
+		if e.flags[ff]&flagPin != 0 {
+			inj := e.pinInj[ff]
+			for j := range inj {
+				in := &inj[j]
+				hi := in.hi
+				if hi > w {
+					hi = w
+				}
+				for k := in.lo; k < hi; k++ {
+					if mask := in.Mask[k]; mask != 0 {
+						dst[k] = dst[k].Merge(in.fw, mask)
+					}
+				}
+			}
+		}
+	}
+	for i, ff := range e.c.DFFs {
+		copy(e.slot(ff), e.scratch[i*w:(i+1)*w])
+		if e.flags[ff]&flagOut != 0 {
+			e.applyOut(ff)
+		}
+	}
+}
+
+// Step applies one functional clock cycle: evaluate the combinational
+// network, then latch the flip-flops.
+func (e *BatchEngine) Step() {
+	e.EvalComb()
+	e.ClockFF()
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkKernelEval isolates the raw combinational-evaluation cost:
+// one Engine.EvalComb against one BatchEngine.EvalComb per width, with
+// no injections, scan traffic or detection checks. The equivalent-work
+// comparison is Mslot-gate-evals/s — a width-W kernel pass evaluates
+// every gate in 64*W slots, so matching the interpreter's number means
+// break-even and the acceptance target is ~3x at W >= 4.
+func BenchmarkKernelEval(b *testing.B) {
+	c, ok := gen.RosterCircuit("s1423")
+	if !ok {
+		b.Fatal("unknown roster circuit s1423")
+	}
+	p := Compile(c)
+	b.Run("interp", func(b *testing.B) {
+		e := New(c)
+		for i := 0; i < b.N; i++ {
+			e.EvalComb()
+		}
+		b.ReportMetric(float64(b.N)*float64(c.NumNodes()*64)/b.Elapsed().Seconds()/1e6, "Mslot-gate-evals/s")
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("kernel-w%d", w), func(b *testing.B) {
+			e := NewBatch(p, w)
+			for i := 0; i < b.N; i++ {
+				e.EvalComb()
+			}
+			b.ReportMetric(float64(b.N)*float64(c.NumNodes()*w*64)/b.Elapsed().Seconds()/1e6, "Mslot-gate-evals/s")
+		})
+	}
+}

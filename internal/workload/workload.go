@@ -60,6 +60,10 @@ type Config struct {
 	// (fsim.Simulator.SetWorkers): 0 keeps runs serial, negative selects
 	// runtime.NumCPU(). Results are identical for any value.
 	Workers int
+	// BatchWords sets the compiled-kernel batch width in words
+	// (fsim.Simulator.SetBatchWords): 0 keeps the fsim default, 1 forces
+	// the interpreter engine. Results are identical for any value.
+	BatchWords int
 	// Check audits every run against the reference simulator in package
 	// oracle: the proposed procedure through core.Options.Audit, the
 	// baselines and T_0 grading through sampled re-simulation. A
@@ -138,6 +142,9 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 	if cfg.Workers != 0 {
 		s.SetWorkers(cfg.Workers)
 	}
+	if cfg.BatchWords != 0 {
+		s.SetBatchWords(cfg.BatchWords)
+	}
 	run := &CircuitRun{Entry: entry, Circuit: ckt, Faults: faults, Comb: comb}
 
 	// Directed T_0, compacted the way [11] conditions the sequences the
@@ -192,12 +199,11 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 	return run, nil
 }
 
-// RunByName runs the pipeline for a roster circuit by name.
+// RunByName runs the pipeline for a roster (or XL-roster) circuit by
+// name.
 func RunByName(name string, cfg Config) (*CircuitRun, error) {
-	for _, e := range gen.Roster() {
-		if e.Params.Name == name {
-			return Run(e, cfg)
-		}
+	if e, ok := gen.FindEntry(name); ok {
+		return Run(e, cfg)
 	}
 	return nil, fmt.Errorf("workload: unknown roster circuit %q", name)
 }
