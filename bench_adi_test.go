@@ -1,0 +1,323 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/adi"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/workload"
+)
+
+// benchAdiArm is one measured fault-list/order configuration.
+type benchAdiArm struct {
+	Order       string  `json:"order"`     // "none" or "adi"
+	Collapsed   bool    `json:"collapsed"` // structural collapsing on
+	Faults      int     `json:"faults"`    // simulated fault-list size (summed over circuits)
+	Seconds     float64 `json:"seconds"`
+	Passes      int64   `json:"passes"`
+	PassVectors int64   `json:"pass_vectors"`
+	FaultSlots  int64   `json:"fault_slots"`
+}
+
+// benchAdiTable3 is the Table 3 pipeline comparison: the uncollapsed
+// ascending-order baseline against the collapsed list, unordered and
+// ADI-ordered. The two collapsed arms must render bit-identical tables.
+type benchAdiTable3 struct {
+	Roster          []string      `json:"roster"`
+	CollapseRatio   float64       `json:"collapse_ratio"` // reps / universe, summed over roster
+	Arms            []benchAdiArm `json:"arms"`
+	WorkReduction   float64       `json:"work_reduction"` // fast pass-vectors / baseline
+	TimeReduction   float64       `json:"time_reduction"` // fast seconds / baseline
+	IdenticalTables bool          `json:"identical_tables"`
+}
+
+// benchAdiXL is the ISCAS-scale arm: random scan-test grading with fault
+// dropping on one gen.XLRoster circuit, uncollapsed baseline against the
+// ADI-ordered collapsed list, with the collapsed detection expanded back
+// to the universe and compared fault for fault.
+type benchAdiXL struct {
+	Circuit            string        `json:"circuit"`
+	Tests              int           `json:"tests"`
+	VectorsPerTest     int           `json:"vectors_per_test"`
+	CollapseRatio      float64       `json:"collapse_ratio"`
+	Arms               []benchAdiArm `json:"arms"`
+	WorkReduction      float64       `json:"work_reduction"`
+	TimeReduction      float64       `json:"time_reduction"`
+	IdenticalDetection bool          `json:"identical_detection"` // expanded == universe grading
+	FirstKTests        int           `json:"first_k_tests"`
+	FirstKDropFraction float64       `json:"first_k_drop_fraction"` // detected within first k / detected total
+}
+
+// benchAdiReport is the schema of BENCH_adi.json.
+type benchAdiReport struct {
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	CPUs      int            `json:"cpus"`
+	Workload  string         `json:"workload"`
+	Table3    benchAdiTable3 `json:"table3"`
+	XL        benchAdiXL     `json:"xl"`
+}
+
+// TestEmitBenchAdiJSON measures the collapsing + ADI-ordering fast path
+// against the uncollapsed ascending-order baseline and writes
+// BENCH_adi.json. Gated behind BENCH_ADI_JSON=1: the uncollapsed XL arm
+// alone simulates the full s35932xl fault universe.
+func TestEmitBenchAdiJSON(t *testing.T) {
+	if os.Getenv("BENCH_ADI_JSON") == "" {
+		t.Skip("set BENCH_ADI_JSON=1 to measure and rewrite BENCH_adi.json")
+	}
+	rep := benchAdiReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Workload:  "Table 3 pipeline (workload.RunAll) + random scan-test grading with dropping on gen.XLRoster",
+	}
+
+	// --- Table 3 pipeline arms ---
+	rep.Table3.Roster = benchRoster
+	var tables []string
+	for _, arm := range []struct {
+		order       string
+		uncollapsed bool
+	}{
+		{"none", true}, // baseline: full universe, ascending order
+		{"none", false},
+		{"adi", false},
+	} {
+		cfg := benchCfg()
+		cfg.Order = arm.order
+		cfg.Uncollapsed = arm.uncollapsed
+		start := time.Now()
+		runs, err := workload.RunAll(benchRoster, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := benchAdiArm{
+			Order:     arm.order,
+			Collapsed: !arm.uncollapsed,
+			Seconds:   time.Since(start).Seconds(),
+		}
+		for _, r := range runs {
+			a.Faults += len(r.Faults)
+			a.Passes += r.SimStats.Passes
+			a.PassVectors += r.SimStats.PassVectors
+			a.FaultSlots += r.SimStats.FaultSlots
+		}
+		if !arm.uncollapsed {
+			tables = append(tables, workload.Table3(runs).Render())
+			if rep.Table3.CollapseRatio == 0 {
+				reps, univ := 0, 0
+				for _, r := range runs {
+					reps += len(r.Collapsed.Reps)
+					univ += len(r.Collapsed.Universe)
+				}
+				rep.Table3.CollapseRatio = float64(reps) / float64(univ)
+			}
+		}
+		rep.Table3.Arms = append(rep.Table3.Arms, a)
+		t.Logf("table3 order=%s collapsed=%v: %.2fs, %d faults, %d pass-vectors",
+			arm.order, !arm.uncollapsed, a.Seconds, a.Faults, a.PassVectors)
+	}
+	rep.Table3.IdenticalTables = tables[0] == tables[1]
+	if !rep.Table3.IdenticalTables {
+		t.Error("Table 3 differs between order=none and order=adi on the collapsed list")
+	}
+	base, fast := rep.Table3.Arms[0], rep.Table3.Arms[2]
+	rep.Table3.WorkReduction = float64(fast.PassVectors) / float64(base.PassVectors)
+	rep.Table3.TimeReduction = fast.Seconds / base.Seconds
+	if fast.PassVectors >= base.PassVectors {
+		t.Errorf("table3: adi+collapsed pass-vectors %d not below uncollapsed baseline %d",
+			fast.PassVectors, base.PassVectors)
+	}
+	if fast.Seconds >= base.Seconds {
+		t.Errorf("table3: adi+collapsed wall-clock %.2fs not below uncollapsed baseline %.2fs",
+			fast.Seconds, base.Seconds)
+	}
+
+	// --- XL arm: random scan-test grading with dropping ---
+	const (
+		xlName    = "s35932xl"
+		xlTests   = 10
+		xlVecs    = 16
+		xlFirstK  = 5
+		gradeSeed = 23
+	)
+	c, ok := gen.RosterCircuit(xlName)
+	if !ok {
+		t.Fatalf("unknown roster circuit %q", xlName)
+	}
+	cc := fault.CollapseWithMap(c)
+	rep.XL = benchAdiXL{
+		Circuit:        xlName,
+		Tests:          xlTests,
+		VectorsPerTest: xlVecs,
+		CollapseRatio:  cc.Ratio(),
+		FirstKTests:    xlFirstK,
+	}
+	r := rand.New(rand.NewSource(gradeSeed))
+	sis := make([]logic.Vector, xlTests)
+	seqs := make([]logic.Sequence, xlTests)
+	for k := range sis {
+		sis[k] = make(logic.Vector, c.NumFFs())
+		for i := range sis[k] {
+			sis[k][i] = logic.Value(r.Intn(2))
+		}
+		seqs[k] = make(logic.Sequence, xlVecs)
+		for u := range seqs[k] {
+			seqs[k][u] = make(logic.Vector, c.NumPIs())
+			for i := range seqs[k][u] {
+				seqs[k][u][i] = logic.Value(r.Intn(2))
+			}
+		}
+	}
+	// grade runs the dropping loop and returns the detected set plus the
+	// per-test cumulative detected counts.
+	grade := func(s *fsim.Simulator, n int) (*fault.Set, []int) {
+		detected := fault.NewSet(n)
+		remaining := fault.NewFullSet(n)
+		cum := make([]int, xlTests)
+		for k := range sis {
+			det := s.DetectTest(sis[k], seqs[k], remaining)
+			detected.UnionWith(det)
+			remaining.SubtractWith(det)
+			cum[k] = detected.Count()
+		}
+		return detected, cum
+	}
+
+	universe := cc.Universe
+	su := fsim.New(c, universe)
+	start := time.Now()
+	wantDet, _ := grade(su, len(universe))
+	baseArm := benchAdiArm{Order: "none", Collapsed: false, Faults: len(universe), Seconds: time.Since(start).Seconds()}
+	st := su.Stats()
+	baseArm.Passes, baseArm.PassVectors, baseArm.FaultSlots = st.Passes, st.PassVectors, st.FaultSlots
+
+	sc := fsim.New(c, cc.Reps)
+	start = time.Now()
+	adi.Install(sc, adi.Options{Seed: gradeSeed})
+	gotReps, cum := grade(sc, len(cc.Reps))
+	fastArm := benchAdiArm{Order: "adi", Collapsed: true, Faults: len(cc.Reps), Seconds: time.Since(start).Seconds()}
+	st = sc.Stats()
+	fastArm.Passes, fastArm.PassVectors, fastArm.FaultSlots = st.Passes, st.PassVectors, st.FaultSlots
+
+	rep.XL.Arms = []benchAdiArm{baseArm, fastArm}
+	rep.XL.IdenticalDetection = cc.ExpandSet(gotReps).Equal(wantDet)
+	if !rep.XL.IdenticalDetection {
+		t.Errorf("xl: expanded collapsed detection differs from universe grading (%d vs %d)",
+			cc.ExpandCount(gotReps), wantDet.Count())
+	}
+	if total := cum[len(cum)-1]; total > 0 {
+		rep.XL.FirstKDropFraction = float64(cum[xlFirstK-1]) / float64(total)
+	}
+	rep.XL.WorkReduction = float64(fastArm.PassVectors) / float64(baseArm.PassVectors)
+	rep.XL.TimeReduction = fastArm.Seconds / baseArm.Seconds
+	if fastArm.PassVectors >= baseArm.PassVectors {
+		t.Errorf("xl: adi+collapsed pass-vectors %d not below uncollapsed baseline %d",
+			fastArm.PassVectors, baseArm.PassVectors)
+	}
+	if fastArm.Seconds >= baseArm.Seconds {
+		t.Errorf("xl: adi+collapsed wall-clock %.2fs not below uncollapsed baseline %.2fs",
+			fastArm.Seconds, baseArm.Seconds)
+	}
+	t.Logf("xl %s: baseline %.2fs/%d pass-vectors, adi+collapsed %.2fs/%d (work %.2f, time %.2f, first-%d drop %.2f)",
+		xlName, baseArm.Seconds, baseArm.PassVectors, fastArm.Seconds, fastArm.PassVectors,
+		rep.XL.WorkReduction, rep.XL.TimeReduction, xlFirstK, rep.XL.FirstKDropFraction)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_adi.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenchAdiJSONSchema validates the checked-in BENCH_adi.json:
+// parseable with no unknown fields, a (none, uncollapsed) baseline and an
+// (adi, collapsed) arm in both sections, identical externally visible
+// results, and recorded work and wall-clock reductions below 1.
+func TestBenchAdiJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_adi.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep benchAdiReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Date == "" || rep.GoVersion == "" || rep.CPUs < 1 {
+		t.Errorf("missing context fields: %+v", rep)
+	}
+	checkArms := func(section string, arms []benchAdiArm) (base, fast *benchAdiArm) {
+		for i := range arms {
+			a := &arms[i]
+			if a.Faults <= 0 || a.Seconds <= 0 || a.Passes <= 0 || a.PassVectors <= 0 || a.FaultSlots <= 0 {
+				t.Errorf("%s: incomplete arm %+v", section, *a)
+			}
+			switch {
+			case a.Order == "none" && !a.Collapsed:
+				base = a
+			case a.Order == "adi" && a.Collapsed:
+				fast = a
+			case a.Order != "none" && a.Order != "adi":
+				t.Errorf("%s: unknown order %q", section, a.Order)
+			}
+		}
+		if base == nil || fast == nil {
+			t.Fatalf("%s: need a (none, uncollapsed) baseline and an (adi, collapsed) arm", section)
+		}
+		if fast.Faults >= base.Faults {
+			t.Errorf("%s: collapsed list (%d) not smaller than universe (%d)", section, fast.Faults, base.Faults)
+		}
+		if fast.PassVectors >= base.PassVectors {
+			t.Errorf("%s: no pass-vector reduction (%d vs %d)", section, fast.PassVectors, base.PassVectors)
+		}
+		return base, fast
+	}
+
+	if r := rep.Table3.CollapseRatio; r <= 0 || r >= 1 {
+		t.Errorf("table3: collapse ratio %.2f out of (0, 1)", r)
+	}
+	if len(rep.Table3.Roster) == 0 {
+		t.Error("table3: empty roster")
+	}
+	checkArms("table3", rep.Table3.Arms)
+	if !rep.Table3.IdenticalTables {
+		t.Error("table3: identical_tables must hold")
+	}
+	if rep.Table3.WorkReduction <= 0 || rep.Table3.WorkReduction >= 1 {
+		t.Errorf("table3: work reduction %.2f not in (0, 1)", rep.Table3.WorkReduction)
+	}
+	if rep.Table3.TimeReduction <= 0 || rep.Table3.TimeReduction >= 1 {
+		t.Errorf("table3: time reduction %.2f not in (0, 1)", rep.Table3.TimeReduction)
+	}
+
+	if rep.XL.Circuit == "" || rep.XL.Tests <= 0 || rep.XL.VectorsPerTest <= 0 {
+		t.Errorf("xl: incomplete workload description: %+v", rep.XL)
+	}
+	if r := rep.XL.CollapseRatio; r <= 0 || r >= 1 {
+		t.Errorf("xl: collapse ratio %.2f out of (0, 1)", r)
+	}
+	checkArms("xl", rep.XL.Arms)
+	if !rep.XL.IdenticalDetection {
+		t.Error("xl: identical_detection must hold")
+	}
+	if rep.XL.WorkReduction <= 0 || rep.XL.WorkReduction >= 1 {
+		t.Errorf("xl: work reduction %.2f not in (0, 1)", rep.XL.WorkReduction)
+	}
+	if rep.XL.FirstKTests <= 0 || rep.XL.FirstKDropFraction <= 0 || rep.XL.FirstKDropFraction > 1 {
+		t.Errorf("xl: first-k drop record invalid: k=%d fraction=%.2f", rep.XL.FirstKTests, rep.XL.FirstKDropFraction)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/adi"
 	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/fsim"
@@ -31,6 +32,8 @@ func main() {
 	seqPath := flag.String("seq", "", "raw PI sequence file (applied without scan from all-X)")
 	workers := flag.Int("workers", 0, "worker goroutines per simulation run (0 = NumCPU, 1 = serial)")
 	batchWords := flag.Int("batchwords", 0, "kernel batch width in 64-slot words (0 = default, 1 = interpreter engine)")
+	order := flag.String("order", "adi", "fault simulation order: adi (accidental-detection index) or none (results are identical)")
+	collapse := flag.Bool("collapse", true, "target the structurally collapsed fault list instead of the full universe")
 	verbose := flag.Bool("v", false, "list undetected faults")
 	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
@@ -69,8 +72,24 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(c.Stats())
-	faults := fault.Collapse(c)
+	var faults []fault.Fault
+	if *collapse {
+		cc := fault.CollapseWithMap(c)
+		faults = cc.Reps
+		fmt.Printf("faults: %d collapsed of %d total (ratio %.2f)\n",
+			len(cc.Reps), len(cc.Universe), cc.Ratio())
+	} else {
+		faults = fault.Universe(c)
+		fmt.Printf("faults: %d (uncollapsed)\n", len(faults))
+	}
 	s := fsim.New(c, faults).SetWorkers(*workers).SetBatchWords(*batchWords)
+	switch *order {
+	case "adi":
+		adi.Install(s, adi.Options{Seed: 1})
+	case "none":
+	default:
+		log.Fatalf("unknown -order %q (want adi or none)", *order)
+	}
 
 	detected := fault.NewSet(len(faults))
 	var audit func() *oracle.Report
@@ -126,6 +145,9 @@ func main() {
 
 	fmt.Printf("fault coverage: %d/%d (%.2f%%)\n",
 		detected.Count(), len(faults), 100*fsim.Coverage(detected, len(faults)))
+	st := s.Stats()
+	fmt.Printf("simulation work: %d passes, %d pass-vectors, %d fault slots\n",
+		st.Passes, st.PassVectors, st.FaultSlots)
 	if *verbose {
 		for i, fl := range faults {
 			if !detected.Has(i) {

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/adi"
 	"repro/internal/atpg"
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -41,6 +42,8 @@ func main() {
 	scanFFs := flag.Int("scan", 0, "partial scan: scan only the first N flip-flops (0 = full scan)")
 	workers := flag.Int("workers", 0, "worker goroutines per fault-simulation run (0 = NumCPU, 1 = serial)")
 	batchWords := flag.Int("batchwords", 0, "kernel batch width in 64-slot words (0 = default, 1 = interpreter engine)")
+	order := flag.String("order", "adi", "fault simulation order: adi (accidental-detection index) or none (results are identical)")
+	collapse := flag.Bool("collapse", true, "target the structurally collapsed fault list instead of the full universe")
 	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
 	flag.Parse()
@@ -64,8 +67,16 @@ func main() {
 		fmt.Printf("partial scan: %d of %d flip-flops\n", chain.Nsv(), c.NumFFs())
 	}
 
-	faults := fault.Collapse(c)
-	fmt.Printf("collapsed stuck-at faults: %d\n", len(faults))
+	var faults []fault.Fault
+	if *collapse {
+		cc := fault.CollapseWithMap(c)
+		faults = cc.Reps
+		fmt.Printf("collapsed stuck-at faults: %d of %d total (ratio %.2f)\n",
+			len(cc.Reps), len(cc.Universe), cc.Ratio())
+	} else {
+		faults = fault.Universe(c)
+		fmt.Printf("stuck-at faults: %d (uncollapsed)\n", len(faults))
+	}
 
 	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: *seed, Chain: chain})
 	if err != nil {
@@ -75,6 +86,13 @@ func main() {
 		len(comb.Tests), comb.Detected.Count(), comb.Untestable.Count(), comb.Aborted.Count())
 
 	s := fsim.NewChain(c, faults, chain).SetWorkers(*workers).SetBatchWords(*batchWords)
+	switch *order {
+	case "adi":
+		adi.Install(s, adi.Options{Seed: *seed})
+	case "none":
+	default:
+		log.Fatalf("unknown -order %q (want adi or none)", *order)
+	}
 	var t0 = seqgen.Random(c, *t0len, *seed)
 	if !*randT0 {
 		res := seqgen.Generate(c, faults, seqgen.Options{Seed: *seed, MaxLen: *t0len})

@@ -38,6 +38,6 @@ func ExampleRun() {
 		res.Final.NumTests(), res.Added,
 		res.Initial.Cycles(c.NumFFs()), res.Final.Cycles(c.NumFFs()))
 	// Output:
-	// faults: 32/32 by tau_seq, 32/32 final
+	// faults: 38/38 by tau_seq, 38/38 final
 	// tests: 1 (added 0), cycles: 15 -> 15
 }

@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/esim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/samples"
+)
+
+// behaviorSignature exhaustively simulates one faulty machine over every
+// assignment in vals to the PIs and present state of c (single frame)
+// and returns the concatenated observable behavior: PO values and the
+// next state after one clock. Structural equivalence claims the faulty
+// machines of a class are observably identical, so their signatures must
+// match value for value — a much stronger check than equal detection.
+func behaviorSignature(c *circuit.Circuit, f *Fault, vals []logic.Value) string {
+	e := esim.New(c)
+	if f != nil {
+		e.InjectFault(f.Node, f.Pin, f.Stuck)
+	}
+	npi, nff := c.NumPIs(), c.NumFFs()
+	assign := make([]logic.Value, npi+nff)
+	sig := make([]byte, 0, 1024)
+	var rec func(i int)
+	rec = func(i int) {
+		if i < len(assign) {
+			for _, v := range vals {
+				assign[i] = v
+				rec(i + 1)
+			}
+			return
+		}
+		e.SetPIVector(assign[:npi])
+		e.SetStateVector(assign[npi:])
+		e.Settle()
+		for p := range c.POs {
+			sig = append(sig, byte('0'+e.PO(p)))
+		}
+		e.ClockFF()
+		for _, ff := range c.DFFs {
+			sig = append(sig, byte('0'+e.Val(ff)))
+		}
+	}
+	rec(0)
+	return string(sig)
+}
+
+// equivalenceCircuits are the exhaustive-check subjects: hand-built
+// circuits covering each collapsing rule plus the observed-stem
+// exclusions, the sample circuits, and one generated roster entry.
+func equivalenceCircuits(t *testing.T) []*circuit.Circuit {
+	t.Helper()
+	// Every gate kind in a chain, with an inverter/buffer run.
+	b := circuit.NewBuilder("gates")
+	b.Input("a")
+	b.Input("b")
+	b.Input("c")
+	b.Gate("g1", circuit.And, "a", "b")
+	b.Gate("g2", circuit.Nand, "g1", "c")
+	b.Gate("g3", circuit.Not, "g2")
+	b.Gate("g4", circuit.Buf, "g3")
+	b.Gate("g5", circuit.Or, "g4", "a")
+	b.Gate("g6", circuit.Nor, "g5", "b")
+	b.Output("g6")
+	gates := b.MustBuild()
+
+	// A DFF whose output feeds exactly one consumer, and a PO stem with
+	// one extra consumer: both are observed stems, so their branch faults
+	// must NOT merge into them (the seed's rule did, unsoundly).
+	b = circuit.NewBuilder("obsstem")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("d", circuit.And, "a", "b")
+	b.DFF("q", "d")
+	b.Gate("g", circuit.Or, "q", "a")
+	b.Gate("h", circuit.Not, "g")
+	b.Output("g") // g is a PO and feeds h
+	b.Output("h")
+	obsstem := b.MustBuild()
+
+	roster, ok := gen.RosterCircuit("b01")
+	if !ok {
+		t.Fatal("unknown roster circuit b01")
+	}
+	return []*circuit.Circuit{gates, obsstem, samples.Comb4(), samples.S27(), roster}
+}
+
+// TestCollapseClassesBehaviorIdentical is the soundness proof for the
+// equivalence collapsing: on each subject circuit, every fault of a
+// class must have a faulty machine observably identical to its
+// representative's, over the exhaustive binary input/state space —
+// and over the exhaustive ternary space on the small circuits, since
+// the simulators are 3-valued.
+func TestCollapseClassesBehaviorIdentical(t *testing.T) {
+	for _, c := range equivalenceCircuits(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			cc := CollapseWithMap(c)
+			spaces := [][]logic.Value{{logic.Zero, logic.One}}
+			if c.NumPIs()+c.NumFFs() <= 7 {
+				spaces = append(spaces, []logic.Value{logic.Zero, logic.One, logic.X})
+			}
+			for _, vals := range spaces {
+				sigs := make(map[int]string, len(cc.Reps))
+				for ri, rep := range cc.Reps {
+					rep := rep
+					sigs[ri] = behaviorSignature(c, &rep, vals)
+				}
+				for u, f := range cc.Universe {
+					f := f
+					got := behaviorSignature(c, &f, vals)
+					if got != sigs[cc.RepOf[u]] {
+						t.Errorf("space %d: fault %s behaves differently from its representative %s",
+							len(vals), f.String(c), cc.Reps[cc.RepOf[u]].String(c))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCollapseSeparatesObservedStems pins the corrected branch-to-stem
+// rule: a DFF output fault is observable at scan-out where its branch
+// fault is not, so the two must stay in different classes even when the
+// DFF has a single consumer.
+func TestCollapseSeparatesObservedStems(t *testing.T) {
+	b := circuit.NewBuilder("dffstem")
+	b.Input("a")
+	b.DFF("q", "a")
+	b.Gate("g", circuit.And, "q", "a")
+	b.Output("g")
+	c := b.MustBuild()
+	cc := CollapseWithMap(c)
+	q, _ := c.NodeByName("q")
+	g, _ := c.NodeByName("g")
+	uidx := func(f Fault) int {
+		for u, uf := range cc.Universe {
+			if uf == f {
+				return u
+			}
+		}
+		t.Fatalf("fault %v not in universe", f)
+		return -1
+	}
+	stem := uidx(Fault{Node: q, Pin: -1, Stuck: logic.Zero})
+	branch := uidx(Fault{Node: g, Pin: 0, Stuck: logic.Zero})
+	if cc.RepOf[stem] == cc.RepOf[branch] {
+		t.Error("DFF output s-a-0 collapsed with its branch fault despite scan-out observability")
+	}
+}
+
+// TestCollapseWithMapInvariants checks the partition structure across
+// the roster: Reps bit-compatible with Collapse, RepOf/Members mutually
+// consistent, every universe fault in exactly one class, and expansion
+// reproducing the full universe.
+func TestCollapseWithMapInvariants(t *testing.T) {
+	for _, name := range []string{"b01", "b02", "b06", "s298", "s344", "s1423"} {
+		c, ok := gen.RosterCircuit(name)
+		if !ok {
+			t.Fatalf("unknown roster circuit %q", name)
+		}
+		cc := CollapseWithMap(c)
+		if len(cc.Universe) != len(Universe(c)) {
+			t.Fatalf("%s: universe size mismatch", name)
+		}
+		col := Collapse(c)
+		if len(col) != len(cc.Reps) {
+			t.Fatalf("%s: Reps %d vs Collapse %d", name, len(cc.Reps), len(col))
+		}
+		for i := range col {
+			if col[i] != cc.Reps[i] {
+				t.Fatalf("%s: Reps[%d] = %v, Collapse gives %v", name, i, cc.Reps[i], col[i])
+			}
+		}
+		seen := make([]int, len(cc.Universe))
+		for ri, members := range cc.Members {
+			if len(members) == 0 {
+				t.Fatalf("%s: empty class %d", name, ri)
+			}
+			repSeen := false
+			for _, u := range members {
+				seen[u]++
+				if cc.RepOf[u] != ri {
+					t.Fatalf("%s: member %d of class %d maps to %d", name, u, ri, cc.RepOf[u])
+				}
+				if cc.Universe[u] == cc.Reps[ri] {
+					repSeen = true
+				}
+			}
+			if !repSeen {
+				t.Errorf("%s: representative %v not a member of its own class", name, cc.Reps[ri])
+			}
+		}
+		for u, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: universe fault %d appears in %d classes", name, u, n)
+			}
+		}
+		// Expanding all representatives reproduces the full universe.
+		all := NewFullSet(len(cc.Reps))
+		exp := cc.ExpandSet(all)
+		if exp.Count() != len(cc.Universe) {
+			t.Errorf("%s: full expansion has %d faults, universe %d", name, exp.Count(), len(cc.Universe))
+		}
+		if got := cc.ExpandCount(all); got != len(cc.Universe) {
+			t.Errorf("%s: ExpandCount %d, universe %d", name, got, len(cc.Universe))
+		}
+		// A partial set expands to exactly its classes' members.
+		half := NewSet(len(cc.Reps))
+		wantCount := 0
+		for ri := 0; ri < len(cc.Reps); ri += 2 {
+			half.Add(ri)
+			wantCount += len(cc.Members[ri])
+		}
+		hexp := cc.ExpandSet(half)
+		if hexp.Count() != wantCount || cc.ExpandCount(half) != wantCount {
+			t.Errorf("%s: partial expansion %d/%d, want %d", name, hexp.Count(), cc.ExpandCount(half), wantCount)
+		}
+		hexp.ForEach(func(u int) {
+			if !half.Has(cc.RepOf[u]) {
+				t.Errorf("%s: expansion contains fault %d outside the selected classes", name, u)
+			}
+		})
+		if r := cc.Ratio(); r <= 0 || r > 1 {
+			t.Errorf("%s: ratio %f out of range", name, r)
+		}
+		t.Logf("%s: %d universe, %d collapsed (ratio %.2f)", name, len(cc.Universe), len(cc.Reps), cc.Ratio())
+	}
+}
+
+func ExampleCollapsed_Ratio() {
+	c := samples.S27()
+	cc := CollapseWithMap(c)
+	fmt.Printf("%d -> %d (%.2f)\n", len(cc.Universe), len(cc.Reps), cc.Ratio())
+	// Output:
+	// 76 -> 38 (0.50)
+}

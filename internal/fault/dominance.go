@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// DomPair records a structural dominance relation: every test that
+// detects Dominated also detects Dominator (in a single combinational
+// frame — see Dominance for the sequential caveat).
+type DomPair struct {
+	Dominated, Dominator Fault
+}
+
+// Dominance returns the classic structural dominance relations of c's
+// gates: for a multi-input AND, the output s-a-1 dominates each input
+// s-a-1; for NAND, the output s-a-0 dominates each input s-a-1; for OR,
+// the output s-a-0 dominates each input s-a-0; for NOR, the output s-a-1
+// dominates each input s-a-0. (The complementary input faults are
+// already equivalent to an output fault and carry no extra relation.)
+//
+// The relation is sound combinationally: detecting the dominated input
+// fault requires driving that input to the non-controlling side of its
+// stuck value with every other input non-controlling, which makes the
+// gate output definitely faulty — the same faulty machine as the output
+// fault. It is NOT sound across multiple sequential frames (a fault can
+// be excited in several frames with effects that cancel), so dominance
+// here is used only to inform fault ordering, never to skip simulation.
+func Dominance(c *circuit.Circuit) []DomPair {
+	var out []DomPair
+	for n := range c.Nodes {
+		nd := &c.Nodes[n]
+		if len(nd.Fanin) < 2 {
+			continue
+		}
+		var inStuck, outStuck logic.Value
+		switch nd.Kind {
+		case circuit.And:
+			inStuck, outStuck = logic.One, logic.One
+		case circuit.Nand:
+			inStuck, outStuck = logic.One, logic.Zero
+		case circuit.Or:
+			inStuck, outStuck = logic.Zero, logic.Zero
+		case circuit.Nor:
+			inStuck, outStuck = logic.Zero, logic.One
+		default:
+			continue
+		}
+		dominator := Fault{Node: n, Pin: -1, Stuck: outStuck}
+		for p := range nd.Fanin {
+			out = append(out, DomPair{
+				Dominated: Fault{Node: n, Pin: p, Stuck: inStuck},
+				Dominator: dominator,
+			})
+		}
+	}
+	return out
+}
+
+// DominatorDegrees returns, for each fault in faults (typically the
+// collapsed representatives), the number of distinct other classes it
+// dominates: how many dominance pairs name it — or a member of its
+// equivalence class — as the dominator. Checkpoint-like faults (PI
+// stems, fanout branches) have degree 0; faults deep in reconvergent
+// logic accumulate higher degrees. The degree is a cheap structural
+// prior on accidental detectability, used as an ordering tie-break.
+func DominatorDegrees(c *circuit.Circuit, faults []Fault) []int {
+	parent := collapseParents(c)
+	canon := func(f Fault) collapseKey {
+		return findRoot(parent, collapseKey{f.Node, f.Pin, f.Stuck})
+	}
+	idx := make(map[collapseKey]int, len(faults))
+	for i, f := range faults {
+		idx[canon(f)] = i
+	}
+	deg := make([]int, len(faults))
+	for _, p := range Dominance(c) {
+		dk, gk := canon(p.Dominator), canon(p.Dominated)
+		if dk == gk {
+			continue // collapsed into the same class: equivalence, not dominance
+		}
+		if i, ok := idx[dk]; ok {
+			deg[i]++
+		}
+	}
+	return deg
+}

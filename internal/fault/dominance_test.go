@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/esim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/samples"
+)
+
+// detectionSignature exhaustively simulates a fault over every single-
+// frame assignment in vals and returns one bool per assignment: whether
+// the fault is detected at a PO or at the next state (definite good and
+// faulty values that differ).
+func detectionSignature(c *circuit.Circuit, f Fault, vals []logic.Value) []bool {
+	good := esim.New(c)
+	bad := esim.New(c)
+	bad.InjectFault(f.Node, f.Pin, f.Stuck)
+	npi, nff := c.NumPIs(), c.NumFFs()
+	assign := make([]logic.Value, npi+nff)
+	var det []bool
+	var rec func(i int)
+	rec = func(i int) {
+		if i < len(assign) {
+			for _, v := range vals {
+				assign[i] = v
+				rec(i + 1)
+			}
+			return
+		}
+		hit := false
+		for _, e := range []*esim.Engine{good, bad} {
+			e.SetPIVector(assign[:npi])
+			e.SetStateVector(assign[npi:])
+			e.Settle()
+		}
+		for p := range c.POs {
+			g, b := good.PO(p), bad.PO(p)
+			if g != logic.X && b != logic.X && g != b {
+				hit = true
+			}
+		}
+		good.ClockFF()
+		bad.ClockFF()
+		for _, ff := range c.DFFs {
+			g, b := good.Val(ff), bad.Val(ff)
+			if g != logic.X && b != logic.X && g != b {
+				hit = true
+			}
+		}
+		det = append(det, hit)
+	}
+	rec(0)
+	return det
+}
+
+// TestDominanceCombinationalSoundness is the exhaustive proof of the
+// dominance rules in a single frame: every assignment detecting the
+// dominated input fault also detects the dominating output fault, over
+// the binary space and — on small circuits — the full ternary space.
+// (Across multiple sequential frames the relation does NOT hold, which
+// is why dominance only informs ordering and never skips simulation.)
+func TestDominanceCombinationalSoundness(t *testing.T) {
+	for _, c := range equivalenceCircuits(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			pairs := Dominance(c)
+			if c.Name == "gates" && len(pairs) == 0 {
+				t.Fatal("no dominance pairs on a circuit full of multi-input gates")
+			}
+			spaces := [][]logic.Value{{logic.Zero, logic.One}}
+			if c.NumPIs()+c.NumFFs() <= 7 {
+				spaces = append(spaces, []logic.Value{logic.Zero, logic.One, logic.X})
+			}
+			for _, vals := range spaces {
+				cache := make(map[Fault][]bool)
+				sig := func(f Fault) []bool {
+					s, ok := cache[f]
+					if !ok {
+						s = detectionSignature(c, f, vals)
+						cache[f] = s
+					}
+					return s
+				}
+				for _, p := range pairs {
+					dominated, dominator := sig(p.Dominated), sig(p.Dominator)
+					for i := range dominated {
+						if dominated[i] && !dominator[i] {
+							t.Fatalf("space %d: assignment %d detects %s but not its dominator %s",
+								len(vals), i, p.Dominated.String(c), p.Dominator.String(c))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDominancePairsShape checks the relation's structure: pairs only on
+// multi-input AND/NAND/OR/NOR gates, dominated faults on input pins with
+// the gate's non-collapsing stuck value, dominators on the output.
+func TestDominancePairsShape(t *testing.T) {
+	for _, c := range []*circuit.Circuit{samples.S27(), samples.Comb4()} {
+		for _, p := range Dominance(c) {
+			nd := c.Nodes[p.Dominated.Node]
+			if p.Dominated.Node != p.Dominator.Node || p.Dominator.Pin != -1 || p.Dominated.Pin < 0 {
+				t.Fatalf("%s: malformed pair %+v", c.Name, p)
+			}
+			if len(nd.Fanin) < 2 {
+				t.Errorf("%s: dominance on single-input gate %s", c.Name, nd.Name)
+			}
+			var wantIn, wantOut logic.Value
+			switch nd.Kind {
+			case circuit.And:
+				wantIn, wantOut = logic.One, logic.One
+			case circuit.Nand:
+				wantIn, wantOut = logic.One, logic.Zero
+			case circuit.Or:
+				wantIn, wantOut = logic.Zero, logic.Zero
+			case circuit.Nor:
+				wantIn, wantOut = logic.Zero, logic.One
+			default:
+				t.Fatalf("%s: dominance on %v gate", c.Name, nd.Kind)
+			}
+			if p.Dominated.Stuck != wantIn || p.Dominator.Stuck != wantOut {
+				t.Errorf("%s: wrong stuck values in pair %+v", c.Name, p)
+			}
+		}
+	}
+}
+
+// TestDominatorDegrees checks the ordering prior: degrees count distinct
+// dominated classes, checkpoint-like faults (PI stems with fanout) score
+// zero, and the counts line up with the raw relation after collapsing.
+func TestDominatorDegrees(t *testing.T) {
+	for _, name := range []string{"b01", "s298"} {
+		c, ok := gen.RosterCircuit(name)
+		if !ok {
+			t.Fatalf("unknown roster circuit %q", name)
+		}
+		cc := CollapseWithMap(c)
+		deg := DominatorDegrees(c, cc.Reps)
+		if len(deg) != len(cc.Reps) {
+			t.Fatalf("%s: %d degrees for %d reps", name, len(deg), len(cc.Reps))
+		}
+		total, nonzero := 0, 0
+		for _, d := range deg {
+			if d < 0 {
+				t.Fatalf("%s: negative degree", name)
+			}
+			total += d
+			if d > 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Errorf("%s: no fault dominates anything", name)
+		}
+		if npairs := len(Dominance(c)); total > npairs {
+			t.Errorf("%s: degree sum %d exceeds pair count %d", name, total, npairs)
+		}
+	}
+}

@@ -17,6 +17,6 @@ func ExampleCollapse() {
 	fmt.Println("checkpoints:", len(checkpoints))
 	// Output:
 	// universe:    76
-	// collapsed:   32
+	// collapsed:   38
 	// checkpoints: 32
 }

@@ -76,9 +76,54 @@ type Simulator struct {
 	workers    int          // max concurrent passes per run
 	idle       []*worker    // checked-in workers
 	batchWords int          // kernel batch width in words; 1 = interpreter
+	order      []int        // pass-packing permutation over fault indices; nil = ascending
 	prog       *sim.Program // lazily compiled batch program
 
 	cache *traceCache
+
+	// Cumulative pass-work counters (see Stats).
+	passes      atomic.Int64
+	passVectors atomic.Int64
+	faultSlots  atomic.Int64
+}
+
+// PassStats is a snapshot of a Simulator's cumulative pass-work
+// counters: how many parallel-fault passes ran, how many input vectors
+// those passes executed in total, and how many fault slots they packed.
+// PassVectors is the primary "simulated fault-pass work" metric — a pass
+// that early-exits after detecting all its faults executes fewer vectors
+// than the sequence length.
+type PassStats struct {
+	Passes      int64
+	PassVectors int64
+	FaultSlots  int64
+}
+
+// Sub returns the counter deltas s - o, for measuring one phase of a
+// longer run.
+func (s PassStats) Sub(o PassStats) PassStats {
+	return PassStats{
+		Passes:      s.Passes - o.Passes,
+		PassVectors: s.PassVectors - o.PassVectors,
+		FaultSlots:  s.FaultSlots - o.FaultSlots,
+	}
+}
+
+// Stats returns the cumulative pass-work counters since construction (or
+// the last ResetStats).
+func (s *Simulator) Stats() PassStats {
+	return PassStats{
+		Passes:      s.passes.Load(),
+		PassVectors: s.passVectors.Load(),
+		FaultSlots:  s.faultSlots.Load(),
+	}
+}
+
+// ResetStats zeroes the pass-work counters.
+func (s *Simulator) ResetStats() {
+	s.passes.Store(0)
+	s.passVectors.Store(0)
+	s.faultSlots.Store(0)
 }
 
 // worker owns the per-goroutine simulation state of one pool member.
@@ -177,6 +222,45 @@ func (s *Simulator) SetBatchWords(n int) *Simulator {
 	s.idle = nil // let workers re-size their kernel arenas lazily
 	s.mu.Unlock()
 	return s
+}
+
+// SetOrder installs a simulation-order permutation over fault indices
+// (e.g. adi.Compute's descending accidental-detection order): runs that
+// span multiple passes pack faults into passes following perm instead of
+// ascending index order. Fault indices themselves are untouched — every
+// result set stays indexed by the canonical fault list, and detection
+// results are bit-identical under any order (ordering only changes which
+// faults share a pass, hence how often the per-pass early exit fires).
+// nil restores ascending order. perm must be a permutation of
+// [0, NumFaults); SetOrder panics otherwise, since a silently dropped
+// fault would corrupt every later detection result. It returns s so the
+// call chains onto New.
+func (s *Simulator) SetOrder(perm []int) *Simulator {
+	if perm != nil {
+		if len(perm) != len(s.faults) {
+			panic("fsim: SetOrder permutation length mismatch")
+		}
+		seen := make([]bool, len(perm))
+		for _, i := range perm {
+			if i < 0 || i >= len(perm) || seen[i] {
+				panic("fsim: SetOrder argument is not a permutation")
+			}
+			seen[i] = true
+		}
+		perm = append([]int(nil), perm...)
+	}
+	s.mu.Lock()
+	s.order = perm
+	s.mu.Unlock()
+	return s
+}
+
+// Order returns the installed simulation-order permutation (nil =
+// ascending). Do not modify the returned slice.
+func (s *Simulator) Order() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order
 }
 
 // BatchWords returns the configured kernel batch width in words.
@@ -340,6 +424,7 @@ type runSpec struct {
 	good    *goodTrace   // memoized good machine; nil = slot 0 carries it
 	profile *Profile     // per-time recording target, or nil
 	abort   *atomic.Bool // cross-pass abort for must-detect checks, or nil
+	repack  bool         // survivor repacking enabled (see run)
 }
 
 // Detect fault-simulates seq under opt and returns the set of detected
@@ -386,34 +471,62 @@ func (s *Simulator) AllDetected(si logic.Vector, seq logic.Sequence, must *fault
 }
 
 // targetIndices resolves the target set to a freshly allocated slice of
-// fault indices.
+// fault indices, in the installed simulation order. Target sets that fit
+// a single interpreter pass skip the order filter: packing within one
+// pass cannot change pass count or results.
 func (s *Simulator) targetIndices(targets *fault.Set) []int {
+	order := s.Order()
 	if targets == nil {
 		idx := make([]int, len(s.faults))
-		for i := range idx {
-			idx[i] = i
+		if order != nil {
+			copy(idx, order)
+		} else {
+			for i := range idx {
+				idx[i] = i
+			}
 		}
 		return idx
 	}
-	idx := make([]int, 0, targets.Count())
-	targets.ForEach(func(i int) { idx = append(idx, i) })
+	n := targets.Count()
+	idx := make([]int, 0, n)
+	if order == nil || n <= batchSize {
+		targets.ForEach(func(i int) { idx = append(idx, i) })
+		return idx
+	}
+	for _, i := range order {
+		if targets.Has(i) {
+			idx = append(idx, i)
+		}
+	}
 	return idx
 }
 
-// run executes one simulation run: it resolves the targets, decides the
-// batch geometry (64*width - 1 faults per pass, one more when a
-// memoized good trace frees slot 0, with width adapted to the target
-// count), and fans the passes out over the worker pool.
-// Detections are accumulated into detected and — in profile mode —
-// per-time data into profile. A non-nil abort turns the run into a
-// must-detect check: a completed pass with an undetected fault aborts
-// the remaining ones.
+// run executes one simulation run: it resolves the targets (in the
+// installed simulation order), decides the batch geometry (64*width - 1
+// faults per pass, one more when a memoized good trace frees slot 0,
+// with width adapted to the target count), and fans the passes out over
+// the worker pool. Detections are accumulated into detected and — in
+// profile mode — per-time data into profile. A non-nil abort turns the
+// run into a must-detect check: a completed pass with an undetected
+// fault aborts the remaining ones.
+//
+// In plain detection mode (no abort, profile or potential collection)
+// passes additionally repack: a pass most of whose faults are already
+// detected aborts early and hands its few undetected survivors to the
+// next generation, where survivors from many passes consolidate into
+// fresh, tighter passes (re-simulated from scratch). Per-fault detection
+// is independent of pass packing, so results are bit-identical; each
+// generation is at most half the size of the previous one, so the
+// loop terminates in O(log targets) generations.
 func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, profile *Profile, abort *atomic.Bool) {
 	targets := s.targetIndices(opt.Targets)
 	if len(targets) == 0 {
 		return
 	}
-	spec := &runSpec{seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, abort: abort}
+	spec := &runSpec{
+		seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, abort: abort,
+		repack: abort == nil && profile == nil && opt.Potential == nil && len(seq) > 1,
+	}
 
 	width := s.effWidth(len(targets))
 	bs := batchSize
@@ -438,73 +551,89 @@ func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, pr
 			cache.put(opt.Init, seq, spec.good)
 		}
 	}
-	if spec.good != nil {
-		bs++ // a cached good machine frees slot 0 for one more fault
-	}
-	nb := (len(targets) + bs - 1) / bs
 
-	workers := s.Workers()
-	if workers > nb {
-		workers = nb
-	}
-	if workers <= 1 {
-		w := s.acquire()
-		defer s.release(w)
-		for k := 0; k < nb; k++ {
-			if abort != nil && abort.Load() {
-				return
-			}
-			batch := targets[k*bs : min((k+1)*bs, len(targets))]
-			w.simulate(batch, spec, width, detected, opt.Potential)
-			if abort != nil && !containsAllIdx(detected, batch) {
-				abort.Store(true)
-				return
-			}
+	for queue := targets; len(queue) > 0; {
+		width = s.effWidth(len(queue))
+		bs = batchSize
+		if width > 1 {
+			bs = 64*width - 1
 		}
-		return
-	}
+		if spec.good != nil {
+			bs++ // a cached good machine frees slot 0 for one more fault
+		}
+		nb := (len(queue) + bs - 1) / bs
+		survByPass := make([][]int, nb)
 
-	// Parallel fan-out: workers pull pass indices from a shared counter
-	// and collect into private sets, merged once at the end — the hot
-	// path takes no locks.
-	var next atomic.Int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		workers := s.Workers()
+		if workers > nb {
+			workers = nb
+		}
+		if workers <= 1 {
 			w := s.acquire()
-			defer s.release(w)
-			local := fault.NewSet(len(s.faults))
-			var localPot *fault.Set
-			if opt.Potential != nil {
-				localPot = fault.NewSet(len(s.faults))
-			}
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= nb {
-					break
-				}
+			for k := 0; k < nb; k++ {
 				if abort != nil && abort.Load() {
 					break
 				}
-				batch := targets[k*bs : min((k+1)*bs, len(targets))]
-				w.simulate(batch, spec, width, local, localPot)
-				if abort != nil && !containsAllIdx(local, batch) {
+				batch := queue[k*bs : min((k+1)*bs, len(queue))]
+				survByPass[k] = w.simulate(batch, spec, width, detected, opt.Potential)
+				if abort != nil && !containsAllIdx(detected, batch) {
 					abort.Store(true)
 					break
 				}
 			}
-			mu.Lock()
-			detected.UnionWith(local)
-			if localPot != nil {
-				opt.Potential.UnionWith(localPot)
+			s.release(w)
+		} else {
+			// Parallel fan-out: workers pull pass indices from a shared
+			// counter and collect into private sets, merged once at the
+			// end — the hot path takes no locks. Survivors land in a
+			// per-pass slot, so the next generation's queue order does not
+			// depend on goroutine scheduling.
+			var next atomic.Int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w := s.acquire()
+					defer s.release(w)
+					local := fault.NewSet(len(s.faults))
+					var localPot *fault.Set
+					if opt.Potential != nil {
+						localPot = fault.NewSet(len(s.faults))
+					}
+					for {
+						k := int(next.Add(1)) - 1
+						if k >= nb {
+							break
+						}
+						if abort != nil && abort.Load() {
+							break
+						}
+						batch := queue[k*bs : min((k+1)*bs, len(queue))]
+						survByPass[k] = w.simulate(batch, spec, width, local, localPot)
+						if abort != nil && !containsAllIdx(local, batch) {
+							abort.Store(true)
+							break
+						}
+					}
+					mu.Lock()
+					detected.UnionWith(local)
+					if localPot != nil {
+						opt.Potential.UnionWith(localPot)
+					}
+					mu.Unlock()
+				}()
 			}
-			mu.Unlock()
-		}()
+			wg.Wait()
+		}
+
+		var surv []int
+		for _, sv := range survByPass {
+			surv = append(surv, sv...)
+		}
+		queue = surv
 	}
-	wg.Wait()
 }
 
 // containsAllIdx reports whether every index in batch is in set.
@@ -518,21 +647,33 @@ func containsAllIdx(set *fault.Set, batch []int) bool {
 }
 
 // simulate runs one pass at the chosen width: single-word passes take
-// the interpreter engine, wider ones the compiled batch kernel.
-func (w *worker) simulate(batch []int, spec *runSpec, width int, detected, potential *fault.Set) {
+// the interpreter engine, wider ones the compiled batch kernel. The
+// pass-work counters record each pass and the vectors it actually
+// executed (early exits cut the vector count). The returned slice holds
+// the survivors of a repacked pass (nil when the pass ran to completion
+// or fully detected its faults).
+func (w *worker) simulate(batch []int, spec *runSpec, width int, detected, potential *fault.Set) []int {
+	var nvec int
+	var surv []int
 	if width <= 1 {
-		w.runBatch(batch, spec, detected, potential)
-		return
+		nvec, surv = w.runBatch(batch, spec, detected, potential)
+	} else {
+		nvec, surv = w.runBatchVec(batch, spec, width, detected, potential)
 	}
-	w.runBatchVec(batch, spec, width, detected, potential)
+	w.s.passes.Add(1)
+	w.s.passVectors.Add(int64(nvec))
+	w.s.faultSlots.Add(int64(len(batch)))
+	return surv
 }
 
 // runBatch simulates one parallel-fault pass over spec.seq. batch holds
 // the fault indices of the pass; detections are added to detected and
 // potential detections to potential (nil = not collected). In profile
 // mode (spec.profile non-nil) per-time detection data is recorded
-// instead of early-exiting.
-func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault.Set) {
+// instead of early-exiting. It returns the number of input vectors
+// actually executed, plus the undetected survivors when the pass
+// repacked (see run).
+func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault.Set) (int, []int) {
 	s := w.s
 	eng := w.engine()
 	eng.Reset()
@@ -555,7 +696,7 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 	var detMask uint64
 	for u, vec := range spec.seq {
 		if spec.abort != nil && spec.abort.Load() {
-			return // another pass already failed the must-detect check
+			return u, nil // another pass already failed the must-detect check
 		}
 		eng.SetPIVector(vec)
 		eng.EvalComb()
@@ -617,7 +758,14 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 			continue
 		}
 		if detMask == batchMask && potential == nil {
-			return // every fault in this pass already detected
+			return u + 1, nil // every fault in this pass already detected
+		}
+		if spec.repack && repackable(u, len(spec.seq)) {
+			if live := len(batch) - bits.OnesCount64(detMask); 2*live <= len(batch) {
+				return u + 1, undetectedOf(batch, slot0, func(bit uint) bool {
+					return detMask&(1<<bit) != 0
+				})
+			}
 		}
 	}
 	if spec.scanOut {
@@ -650,6 +798,28 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 			}
 		}
 	}
+	return len(spec.seq), nil
+}
+
+// repackable reports whether a pass at vector u (of seqLen) may still
+// abort for survivor repacking: only within the first three quarters of
+// the sequence — later aborts save too few vectors to pay for the
+// survivors' re-simulation.
+func repackable(u, seqLen int) bool {
+	return 4*(u+1) <= 3*seqLen
+}
+
+// undetectedOf collects the batch members whose slot bit fails det.
+// A repacking pass only aborts when survivors number at most half
+// of the batch, so consecutive generations shrink geometrically.
+func undetectedOf(batch []int, slot0 uint, det func(bit uint) bool) []int {
+	var surv []int
+	for bi, fi := range batch {
+		if !det(uint(bi) + slot0) {
+			surv = append(surv, fi)
+		}
+	}
+	return surv
 }
 
 // runBatchVec is runBatch on the compiled batch kernel: one pass over
@@ -657,8 +827,10 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 // cached good trace). The observation logic mirrors runBatch word by
 // word — the good trace is slot-uniform, so comparing every word
 // against the same good word is exact — which keeps detection results
-// bit-identical to the interpreter at any width.
-func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, potential *fault.Set) {
+// bit-identical to the interpreter at any width. It returns the number
+// of input vectors actually executed, plus the undetected survivors when
+// the pass repacked (see run).
+func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, potential *fault.Set) (int, []int) {
 	s := wk.s
 	eng := wk.kernel(width)
 	eng.Reset()
@@ -700,7 +872,7 @@ func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, p
 	profile := spec.profile
 	for u, vec := range spec.seq {
 		if spec.abort != nil && spec.abort.Load() {
-			return // another pass already failed the must-detect check
+			return u, nil // another pass already failed the must-detect check
 		}
 		eng.SetPIVector(vec)
 		eng.EvalComb()
@@ -769,7 +941,18 @@ func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, p
 			continue
 		}
 		if potential == nil && masksEqual(detMask, batchMask) {
-			return // every fault in this pass already detected
+			return u + 1, nil // every fault in this pass already detected
+		}
+		if spec.repack && repackable(u, len(spec.seq)) {
+			ndet := 0
+			for k := 0; k < width; k++ {
+				ndet += bits.OnesCount64(detMask[k])
+			}
+			if live := len(batch) - ndet; 2*live <= len(batch) {
+				return u + 1, undetectedOf(batch, uint(slot0), func(bit uint) bool {
+					return detMask[bit>>6]&(1<<(bit&63)) != 0
+				})
+			}
 		}
 	}
 	if spec.scanOut {
@@ -807,6 +990,7 @@ func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, p
 			}
 		}
 	}
+	return len(spec.seq), nil
 }
 
 // scanInVec is scanIn for the batch kernel: scan-in values broadcast to

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/adi"
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/gen"
@@ -163,6 +164,97 @@ func TestDifferentialGenerated(t *testing.T) {
 				if !got.Equal(want) || !fpot.Equal(opot) {
 					t.Fatalf("rep %d: sets differ (hard %d/%d, potential %d/%d)",
 						rep, got.Count(), want.Count(), fpot.Count(), opot.Count())
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialOrdered reruns the sweep with an ADI-installed
+// traversal order on the optimized simulator: ordering is a scheduling
+// permutation inside fsim, so the detected and potential sets must stay
+// bit-identical to the scalar reference across circuits, seeds, worker
+// counts and batch widths — including the survivor-repacking path that
+// ordered dropping enables.
+func TestDifferentialOrdered(t *testing.T) {
+	for _, name := range sweepCircuits {
+		c, ok := gen.RosterCircuit(name)
+		if !ok {
+			t.Fatalf("unknown roster circuit %q", name)
+		}
+		faults := fault.Collapse(c)
+		for seed := int64(1); seed <= 2; seed++ {
+			for _, workers := range []int{1, 4} {
+				for _, words := range []int{0, 4} {
+					t.Run(fmt.Sprintf("%s/seed%d/w%d/bw%d", name, seed, workers, words), func(t *testing.T) {
+						t.Parallel()
+						r := rand.New(rand.NewSource(seed * 313))
+						fs := fsim.New(c, faults).SetWorkers(workers).SetBatchWords(words)
+						adi.Install(fs, adi.Options{Seed: seed})
+						orc := New(c, faults)
+
+						si := randVec(r, orc.Nsv(), true)
+						seq := randSeq(r, 8+r.Intn(5), c.NumPIs(), true)
+
+						fpot := fault.NewSet(len(faults))
+						opot := fault.NewSet(len(faults))
+						got := fs.Detect(seq, fsim.Options{Init: si, ScanOut: true, Potential: fpot})
+						want := orc.Detect(seq, Options{Init: si, ScanOut: true, Potential: opot})
+						if !got.Equal(want) || !fpot.Equal(opot) {
+							t.Fatalf("ordered sets differ from oracle (hard %d/%d, potential %d/%d)",
+								got.Count(), want.Count(), fpot.Count(), opot.Count())
+						}
+						// Long no-scan sequence: the repacking fast path fires
+						// here; results must not change.
+						long := randSeq(r, 40, c.NumPIs(), true)
+						if g, w := fs.Detect(long, fsim.Options{}), orc.Detect(long, Options{}); !g.Equal(w) {
+							t.Fatalf("ordered no-scan sets differ: fsim %d, oracle %d", g.Count(), w.Count())
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCollapsedExpansion validates the other half of the
+// fast path: simulating only the collapsed representatives and expanding
+// each detected representative to its equivalence class must reproduce,
+// fault for fault, the detection set of simulating the entire uncollapsed
+// universe — on both the optimized simulator and the scalar reference.
+func TestDifferentialCollapsedExpansion(t *testing.T) {
+	for _, name := range sweepCircuits {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, ok := gen.RosterCircuit(name)
+			if !ok {
+				t.Fatalf("unknown roster circuit %q", name)
+			}
+			cc := fault.CollapseWithMap(c)
+			reps := fsim.New(c, cc.Reps).SetWorkers(2)
+			adi.Install(reps, adi.Options{Seed: 5})
+			full := fsim.New(c, cc.Universe)
+			orc := New(c, cc.Universe)
+
+			r := rand.New(rand.NewSource(41))
+			for rep := 0; rep < 3; rep++ {
+				si := randVec(r, c.NumFFs(), true)
+				seq := randSeq(r, 6+r.Intn(6), c.NumPIs(), true)
+
+				expanded := cc.ExpandSet(reps.Detect(seq, fsim.Options{Init: si, ScanOut: true}))
+				direct := full.Detect(seq, fsim.Options{Init: si, ScanOut: true})
+				want := orc.Detect(seq, Options{Init: si, ScanOut: true})
+				if !direct.Equal(want) {
+					t.Fatalf("rep %d: universe fsim differs from oracle (%d vs %d)",
+						rep, direct.Count(), want.Count())
+				}
+				if !expanded.Equal(want) {
+					t.Fatalf("rep %d: expanded collapsed set differs from universe (%d vs %d)",
+						rep, expanded.Count(), want.Count())
+				}
+				if got, wantN := cc.ExpandCount(reps.Detect(seq, fsim.Options{Init: si, ScanOut: true})), want.Count(); got != wantN {
+					t.Fatalf("rep %d: ExpandCount %d, universe count %d", rep, got, wantN)
 				}
 			}
 		})

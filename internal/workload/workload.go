@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/adi"
 	"repro/internal/atpg"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -64,6 +65,17 @@ type Config struct {
 	// (fsim.Simulator.SetBatchWords): 0 keeps the fsim default, 1 forces
 	// the interpreter engine. Results are identical for any value.
 	BatchWords int
+	// Order selects the fault simulation order: "adi" (default, the
+	// accidental-detection-index order of arXiv:0710.4637, installed via
+	// fsim.Simulator.SetOrder) or "none" (ascending fault index). The
+	// order only changes pass packing inside the simulator — every
+	// detected set, table and N_cyc is identical either way.
+	Order string
+	// Uncollapsed targets the full uncollapsed fault universe instead of
+	// the structurally collapsed representatives. Roughly doubles the
+	// simulated fault count for identical information; kept as the
+	// baseline arm of BENCH_adi.json.
+	Uncollapsed bool
 	// Check audits every run against the reference simulator in package
 	// oracle: the proposed procedure through core.Options.Audit, the
 	// baselines and T_0 grading through sampled re-simulation. A
@@ -80,6 +92,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.T0MaxLen == 0 {
 		c.T0MaxLen = 300
+	}
+	if c.Order == "" {
+		c.Order = "adi"
 	}
 	if c.RandomT0Len == 0 {
 		c.RandomT0Len = 1000
@@ -104,6 +119,11 @@ type CircuitRun struct {
 	Entry   gen.RosterEntry
 	Circuit *circuit.Circuit
 	Faults  []fault.Fault
+	// Collapsed maps the simulated representatives back to the full
+	// fault universe (nil when the run targeted the uncollapsed list).
+	Collapsed *fault.Collapsed
+	// SimStats is the pipeline simulator's cumulative pass work.
+	SimStats fsim.PassStats
 
 	Comb       *atpg.Result   // the combinational test set C
 	T0         logic.Sequence // directed sequence after [11]-style compaction
@@ -127,7 +147,14 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
 	}
-	faults := fault.Collapse(ckt)
+	var faults []fault.Fault
+	var collapsed *fault.Collapsed
+	if cfg.Uncollapsed {
+		faults = fault.Universe(ckt)
+	} else {
+		collapsed = fault.CollapseWithMap(ckt)
+		faults = collapsed.Reps
+	}
 	seed := entry.Params.Seed + cfg.Seed
 
 	comb, err := atpg.Generate(ckt, faults, atpg.Options{Seed: seed})
@@ -145,7 +172,14 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 	if cfg.BatchWords != 0 {
 		s.SetBatchWords(cfg.BatchWords)
 	}
-	run := &CircuitRun{Entry: entry, Circuit: ckt, Faults: faults, Comb: comb}
+	switch cfg.Order {
+	case "adi":
+		adi.Install(s, adi.Options{Seed: seed})
+	case "none":
+	default:
+		return nil, fmt.Errorf("workload %s: unknown Order %q", entry.Params.Name, cfg.Order)
+	}
+	run := &CircuitRun{Entry: entry, Circuit: ckt, Faults: faults, Collapsed: collapsed, Comb: comb}
 
 	// Directed T_0, compacted the way [11] conditions the sequences the
 	// paper takes from [10]/[12].
@@ -191,6 +225,7 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 			return nil, fmt.Errorf("workload %s (random T0): %v", entry.Params.Name, err)
 		}
 	}
+	run.SimStats = s.Stats() // before the audit's extra re-simulation
 	if cfg.Check {
 		if err := auditRun(s, run, cfg.auditOptions()); err != nil {
 			return nil, err
