@@ -113,7 +113,7 @@ func TestEmitBenchAdiJSON(t *testing.T) {
 			a.FaultSlots += r.SimStats.FaultSlots
 		}
 		if !arm.uncollapsed {
-			tables = append(tables, workload.Table3(runs).Render())
+			tables = append(tables, workload.Table3(workload.Rows(runs)).Render())
 			if rep.Table3.CollapseRatio == 0 {
 				reps, univ := 0, 0
 				for _, r := range runs {

@@ -61,7 +61,7 @@ func TestEmitBenchFsimJSON(t *testing.T) {
 			t.Fatal(err)
 		}
 		rep.Arms = append(rep.Arms, benchFsimArm{Workers: n, Seconds: time.Since(start).Seconds()})
-		tables = append(tables, workload.Table3(runs).Render())
+		tables = append(tables, workload.Table3(workload.Rows(runs)).Render())
 	}
 	rep.Identical = tables[0] == tables[1]
 	if !rep.Identical {

@@ -44,7 +44,7 @@ func BenchmarkTable1DetectedFaults(b *testing.B) {
 		cfg := benchCfg()
 		cfg.SkipRandom, cfg.SkipDynamic = true, true
 		runs := runArm(b, cfg)
-		tab := workload.Table1(runs)
+		tab := workload.Table1(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster) {
 			b.Fatal("short table")
 		}
@@ -58,7 +58,7 @@ func BenchmarkTable2TestLengths(b *testing.B) {
 		cfg := benchCfg()
 		cfg.SkipRandom, cfg.SkipDynamic = true, true
 		runs := runArm(b, cfg)
-		tab := workload.Table2(runs)
+		tab := workload.Table2(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster) {
 			b.Fatal("short table")
 		}
@@ -71,7 +71,7 @@ func BenchmarkTable2TestLengths(b *testing.B) {
 func BenchmarkTable3ClockCycles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runs := runArm(b, benchCfg())
-		tab := workload.Table3(runs)
+		tab := workload.Table3(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster)+1 { // + total row
 			b.Fatal("short table")
 		}
@@ -101,7 +101,7 @@ func BenchmarkTable3ClockCyclesWorkers(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				tab := workload.Table3(runs).Render()
+				tab := workload.Table3(workload.Rows(runs)).Render()
 				if serial == "" {
 					serial = tab
 				} else if tab != serial {
@@ -119,7 +119,7 @@ func BenchmarkTable4AtSpeed(b *testing.B) {
 		cfg := benchCfg()
 		cfg.SkipDynamic = true
 		runs := runArm(b, cfg)
-		tab := workload.Table4(runs)
+		tab := workload.Table4(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster) {
 			b.Fatal("short table")
 		}
@@ -132,7 +132,7 @@ func BenchmarkTable5RandomSequences(b *testing.B) {
 		cfg := benchCfg()
 		cfg.SkipDynamic = true
 		runs := runArm(b, cfg)
-		tab := workload.Table5(runs)
+		tab := workload.Table5(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster) {
 			b.Fatal("short table")
 		}
@@ -147,7 +147,7 @@ func BenchmarkTableDelayCoverage(b *testing.B) {
 		cfg := benchCfg()
 		cfg.SkipDynamic = true
 		runs := runArm(b, cfg)
-		tab := workload.TableDelay(runs)
+		tab := workload.TableDelay(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster) {
 			b.Fatal("short table")
 		}
@@ -160,7 +160,7 @@ func BenchmarkTablePower(b *testing.B) {
 		cfg := benchCfg()
 		cfg.SkipRandom, cfg.SkipDynamic = true, true
 		runs := runArm(b, cfg)
-		tab := workload.TablePower(runs)
+		tab := workload.TablePower(workload.Rows(runs))
 		if len(tab.Rows) != len(benchRoster) {
 			b.Fatal("short table")
 		}

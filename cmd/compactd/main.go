@@ -1,0 +1,81 @@
+// Command compactd serves the paper's compaction pipeline over HTTP:
+// POST a .bench netlist (or a roster circuit name) to /v1/jobs, follow
+// per-phase progress on GET /v1/jobs/{id} (JSON, or SSE with Accept:
+// text/event-stream), and fetch the resulting test sets from
+// /v1/artifacts/{key}. Results are content-addressed — resubmitting the
+// same netlist and config is served from the on-disk artifact cache
+// without re-running ATPG or compaction.
+//
+// Usage:
+//
+//	compactd -addr :8347 -cache /var/cache/compactd -cache-budget 268435456
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("compactd: ")
+	addr := flag.String("addr", ":8347", "listen address")
+	cacheDir := flag.String("cache", "compactd-cache", "artifact cache directory (empty disables caching)")
+	cacheBudget := flag.Int64("cache-budget", 256<<20, "artifact cache byte budget (<=0 = unlimited)")
+	workers := flag.Int("workers", max(1, runtime.NumCPU()/2), "concurrent pipeline runs")
+	maxPending := flag.Int("max-pending", 64, "queued jobs before submissions are rejected")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+	drain := flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight jobs")
+	flag.Parse()
+
+	var store *jobs.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = jobs.OpenStore(*cacheDir, *cacheBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := store.Stats()
+		log.Printf("artifact cache %s: %d bundles, %d bytes", *cacheDir, st.Objects, st.Bytes)
+	}
+	queue := jobs.NewQueue(store, jobs.Options{Workers: *workers, MaxPending: *maxPending})
+	api := jobs.NewServer(queue)
+	api.MaxBodyBytes = *maxBody
+
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers)", *addr, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, finish open requests, then
+	// drain the job queue so in-flight pipeline runs land in the cache.
+	log.Printf("shutting down (drain %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := queue.Close(dctx); err != nil {
+		log.Printf("queue drain: %v", err)
+	}
+}

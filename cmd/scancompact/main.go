@@ -3,29 +3,31 @@
 // four phases, and a cost report. The resulting test set can be written
 // in the text format of internal/scan.
 //
+// The command is a thin client of the jobs layer (internal/jobs) — the
+// same code path the compactd service runs. With -cache, results are
+// content-addressed on disk and a repeated invocation with identical
+// inputs is served without re-running the pipeline.
+//
 // Usage:
 //
 //	scancompact -roster s298 [-o tests.txt]
-//	scancompact -bench mydesign.bench -seed 7 -t0len 500
+//	scancompact -bench mydesign.bench -seed 7 -t0len 500 -cache ./cache
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/adi"
-	"repro/internal/atpg"
 	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/fsim"
-	"repro/internal/oracle"
+	"repro/internal/jobs"
 	"repro/internal/response"
 	"repro/internal/scan"
-	"repro/internal/seqgen"
-	"repro/internal/vecomit"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func main() {
 	collapse := flag.Bool("collapse", true, "target the structurally collapsed fault list instead of the full universe")
 	check := flag.Bool("check", false, "audit the result against the scalar reference simulator (sampled)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
+	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
 	flag.Parse()
 
 	c, err := cliutil.LoadCircuit(*benchPath, *roster)
@@ -54,100 +57,114 @@ func main() {
 	}
 	fmt.Println(c.Stats())
 
-	var chain *scan.Chain
-	if *scanFFs > 0 && *scanFFs < c.NumFFs() {
-		ffs := make([]int, *scanFFs)
-		for i := range ffs {
-			ffs[i] = i
-		}
-		chain, err = scan.NewChain(c.NumFFs(), ffs)
-		if err != nil {
+	cfg := workload.Config{
+		Seed:          *seed,
+		T0MaxLen:      *t0len,
+		Workers:       *workers,
+		BatchWords:    *batchWords,
+		Order:         *order,
+		Uncollapsed:   !*collapse,
+		Check:         *check,
+		CheckSample:   *checkSample,
+		ScanFFs:       *scanFFs,
+		SkipBaselines: true,
+		SkipDynamic:   true,
+		Core:          core.Options{SkipStaticCompaction: *noPhase4},
+	}
+	if *workers == 0 {
+		cfg.Workers = -1 // NumCPU
+	}
+	// The command runs exactly one arm: directed T_0 by default, random
+	// T_0 (length -t0len) with -random-t0.
+	if *randT0 {
+		cfg.SkipDirected = true
+		cfg.RandomT0Len = *t0len
+	} else {
+		cfg.SkipRandom = true
+	}
+	if 0 < *scanFFs && *scanFFs < c.NumFFs() {
+		fmt.Printf("partial scan: %d of %d flip-flops\n", *scanFFs, c.NumFFs())
+	}
+
+	var store *jobs.Store
+	if *cacheDir != "" {
+		if store, err = jobs.OpenStore(*cacheDir, 0); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("partial scan: %d of %d flip-flops\n", chain.Nsv(), c.NumFFs())
 	}
+	queue := jobs.NewQueue(store, jobs.Options{Workers: 1})
+	defer queue.Close(context.Background())
 
-	var faults []fault.Fault
-	if *collapse {
-		cc := fault.CollapseWithMap(c)
-		faults = cc.Reps
-		fmt.Printf("collapsed stuck-at faults: %d of %d total (ratio %.2f)\n",
-			len(cc.Reps), len(cc.Universe), cc.Ratio())
-	} else {
-		faults = fault.Universe(c)
-		fmt.Printf("stuck-at faults: %d (uncollapsed)\n", len(faults))
-	}
-
-	comb, err := atpg.Generate(c, faults, atpg.Options{Seed: *seed, Chain: chain})
+	job, err := queue.Submit(jobs.Request{Circuit: c, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	state, _, _ := job.Snapshot()
+	if state == jobs.StateCached {
+		fmt.Printf("served from artifact cache (%s)\n", job.Key)
+	}
+	row, err := jobs.DecodeRow(job.Artifacts())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if row.CollapsedUniverse > 0 {
+		fmt.Printf("collapsed stuck-at faults: %d of %d total (ratio %.2f)\n",
+			row.Faults, row.CollapsedUniverse, float64(row.Faults)/float64(row.CollapsedUniverse))
+	} else {
+		fmt.Printf("stuck-at faults: %d (uncollapsed)\n", row.Faults)
 	}
 	fmt.Printf("combinational test set C: %d tests, %d detected, %d untestable, %d aborted\n",
-		len(comb.Tests), comb.Detected.Count(), comb.Untestable.Count(), comb.Aborted.Count())
+		row.CombTests, row.CombDetected, row.CombUntestable, row.CombAborted)
 
-	s := fsim.NewChain(c, faults, chain).SetWorkers(*workers).SetBatchWords(*batchWords)
-	switch *order {
-	case "adi":
-		adi.Install(s, adi.Options{Seed: *seed})
-	case "none":
-	default:
-		log.Fatalf("unknown -order %q (want adi or none)", *order)
+	arm := row.Proposed
+	if *randT0 {
+		arm = row.Rand
 	}
-	var t0 = seqgen.Random(c, *t0len, *seed)
-	if !*randT0 {
-		res := seqgen.Generate(c, faults, seqgen.Options{Seed: *seed, MaxLen: *t0len})
-		t0 = res.Seq
-		if len(t0) <= 800 {
-			t0, _ = vecomit.CompactSequence(s, t0, res.Detected, vecomit.Options{MaxPasses: 1})
-		}
+	if arm == nil {
+		log.Fatal("internal error: pipeline produced no result arm")
 	}
-	fmt.Printf("T0: %d vectors\n", len(t0))
-
-	coreOpt := core.Options{SkipStaticCompaction: *noPhase4}
-	if *check {
-		coreOpt.Audit = oracle.Auditor(c, faults, chain, oracle.AuditOptions{SampleFaults: *checkSample})
-	}
-	res, err := core.Run(s, comb.Tests, t0, coreOpt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("T0: %d vectors\n", arm.T0Len)
 	if *check {
 		fmt.Println("oracle audit: passed")
 	}
-	nsv := s.Nsv()
-	sum := res.Summarize(nsv)
 	fmt.Printf("faults detected: T0 %d, tau_seq %d, final %d / %d\n",
-		sum.T0Detected, sum.SeqDetected, sum.FinalDetected, len(faults))
+		arm.T0Detected, arm.SeqDetected, arm.FinalDetected, row.Faults)
 	fmt.Printf("tau_seq: scan-in + %d at-speed vectors; %d length-1 tests added\n",
-		sum.SeqLen, sum.Added)
+		arm.SeqLen, arm.Added)
 	fmt.Printf("test application: initial %d cycles, compacted %d cycles (%d tests)\n",
-		sum.InitCycles, sum.CompCycles, res.Final.NumTests())
-	fmt.Printf("at-speed sequence lengths: %s\n", sum.AtSpeed)
+		arm.Initial.Cycles(row.Nsv), arm.Final.Cycles(row.Nsv), arm.Final.NumTests())
+	fmt.Printf("at-speed sequence lengths: %s\n", arm.Final.AtSpeed())
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := scan.WriteSet(f, res.Final); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeSet(*out, arm.Final); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *respOut != "" {
-		f, err := os.Create(*respOut)
+		chain, err := cfg.Chain(c)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := response.Write(f, res.Final, response.ForSet(c, chain, res.Final)); err != nil {
+		var buf bytes.Buffer
+		if err := response.Write(&buf, arm.Final, response.ForSet(c, chain, arm.Final)); err != nil {
 			log.Fatal(err)
 		}
-		if err := f.Close(); err != nil {
+		if err := os.WriteFile(*respOut, buf.Bytes(), 0o644); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *respOut)
 	}
+}
+
+func writeSet(path string, s *scan.Set) error {
+	var buf bytes.Buffer
+	if err := scan.WriteSet(&buf, s); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -1,12 +1,21 @@
 // Command tables regenerates the paper's Tables 1-5 over the synthetic
 // benchmark roster (or a named subset).
 //
+// The command is a thin client of the jobs layer (internal/jobs), the
+// same code path the compactd service runs: each circuit is submitted
+// as one job and the tables are rendered from the resulting artifact
+// bundles. With -cache, bundles persist on disk and a re-run with
+// identical settings renders the tables without re-running the
+// pipeline.
+//
 // Usage:
 //
-//	tables [-p N] [circuit ...]
+//	tables [-p N] [-cache DIR] [circuit ...]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -14,6 +23,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/gen"
+	"repro/internal/jobs"
 	"repro/internal/workload"
 )
 
@@ -34,6 +45,7 @@ func main() {
 	collapse := flag.Bool("collapse", true, "target the structurally collapsed fault list instead of the full universe")
 	check := flag.Bool("check", false, "audit every run against the scalar reference simulator (sampled; slower)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
+	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
 	flag.Parse()
 
 	cfg := workload.Config{
@@ -51,40 +63,87 @@ func main() {
 	if *workers == 0 {
 		cfg.Workers = -1 // NumCPU
 	}
-	var names []string
-	if flag.NArg() > 0 {
-		names = flag.Args()
+	names := flag.Args()
+	if len(names) == 0 {
+		names = gen.RosterNames()
 	}
+
+	var store *jobs.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = jobs.OpenStore(*cacheDir, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	queue := jobs.NewQueue(store, jobs.Options{Workers: *par, MaxPending: len(names) + 1})
+	defer queue.Close(context.Background())
+
 	start := time.Now()
-	runs, err := workload.RunAll(names, cfg, *par)
-	if err != nil {
-		log.Fatal(err)
+	// Submit every circuit, then wait: failures surface per circuit and
+	// the tables still render every row that succeeded (mirroring
+	// workload.RunAll's error collection).
+	submitted := make([]*jobs.Job, len(names))
+	var errs []error
+	for i, name := range names {
+		j, err := queue.Submit(jobs.Request{Roster: name, Config: cfg})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %v", name, err))
+			continue
+		}
+		submitted[i] = j
 	}
+	rows := make([]*workload.Row, 0, len(names))
+	cached := 0
+	for i, j := range submitted {
+		if j == nil {
+			continue
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %v", names[i], err))
+			continue
+		}
+		if state, _, _ := j.Snapshot(); state == jobs.StateCached {
+			cached++
+		}
+		row, err := jobs.DecodeRow(j.Artifacts())
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %v", names[i], err))
+			continue
+		}
+		rows = append(rows, row)
+	}
+
 	if *markdown {
 		tabs := []interface{ RenderMarkdown() string }{
-			workload.Table1(runs), workload.Table2(runs), workload.Table3(runs),
-			workload.Table4(runs), workload.Table5(runs),
+			workload.Table1(rows), workload.Table2(rows), workload.Table3(rows),
+			workload.Table4(rows), workload.Table5(rows),
 		}
 		if *delay {
-			tabs = append(tabs, workload.TableDelay(runs))
+			tabs = append(tabs, workload.TableDelay(rows))
 		}
 		if *pow {
-			tabs = append(tabs, workload.TablePower(runs))
+			tabs = append(tabs, workload.TablePower(rows))
 		}
 		for _, t := range tabs {
 			fmt.Println(t.RenderMarkdown())
 		}
 	} else {
-		fmt.Print(workload.AllTables(runs))
+		fmt.Print(workload.AllTables(rows))
 		if *delay {
-			fmt.Print(workload.TableDelay(runs).Render())
+			fmt.Print(workload.TableDelay(rows).Render())
 		}
 		if *pow {
-			fmt.Print(workload.TablePower(runs).Render())
+			fmt.Print(workload.TablePower(rows).Render())
 		}
 	}
 	if *check {
 		fmt.Fprintln(os.Stderr, "oracle audit: all runs passed")
 	}
-	fmt.Fprintf(os.Stderr, "completed %d circuits in %v\n", len(runs), time.Since(start).Round(time.Millisecond))
+	if cached > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d circuits served from artifact cache\n", cached, len(names))
+	}
+	fmt.Fprintf(os.Stderr, "completed %d circuits in %v\n", len(rows), time.Since(start).Round(time.Millisecond))
+	if err := errors.Join(errs...); err != nil {
+		log.Fatal(err)
+	}
 }

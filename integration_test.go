@@ -22,7 +22,7 @@ func TestReproduceTablesSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	out := workload.AllTables(runs)
+	out := workload.AllTables(workload.Rows(runs))
 	for _, tab := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Table 5"} {
 		if !strings.Contains(out, tab) {
 			t.Errorf("missing %s in output", tab)

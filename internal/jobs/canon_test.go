@@ -1,0 +1,151 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// benchBase is a small handwritten scan circuit used throughout the
+// canonicalization tests.
+const benchBase = `# a small scan circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G3)
+G5 = DFF(G4)
+G2 = NAND(G0, G1)
+G3 = AND(G2, G5)
+G4 = OR(G0, G2)
+`
+
+// benchShuffled is the same circuit with permuted gate declarations,
+// extra whitespace and different comments — semantically identical.
+const benchShuffled = `
+# reordered declaration of the same netlist
+
+INPUT(G0)
+INPUT(G1)
+
+OUTPUT(G3)
+G4   =  OR( G0 , G2 )
+G2 = NAND(G0, G1)
+G5 = DFF(G4)
+# trailing comment
+G3 = AND(G2, G5)
+`
+
+func TestCanonicalTextInsensitiveToGateOrder(t *testing.T) {
+	t1, c1, err := CanonicalBench("a", benchBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, c2, err := CanonicalBench("b", benchShuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Errorf("canonical texts differ:\n--- base ---\n%s--- shuffled ---\n%s", t1, t2)
+	}
+	if d1, d2 := CircuitDigest(c1), CircuitDigest(c2); d1 != d2 {
+		t.Errorf("digests differ: %s vs %s", d1, d2)
+	}
+	// The circuit name must not enter the digest (same upload under two
+	// names hits the same cache entry) — exercised by the distinct
+	// "a"/"b" names above.
+}
+
+func TestCanonicalTextSensitiveToLogic(t *testing.T) {
+	_, base, err := CanonicalBench("c", benchBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single gate-function change must change the digest.
+	_, changed, err := CanonicalBench("c", strings.Replace(benchBase, "NAND", "NOR", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CircuitDigest(base) == CircuitDigest(changed) {
+		t.Error("NAND->NOR did not change the digest")
+	}
+}
+
+func TestCanonicalTextSensitiveToPIOrder(t *testing.T) {
+	// PI declaration order defines the test-vector bit order, so it is
+	// semantic: swapping the INPUT lines must change the digest.
+	swapped := strings.Replace(benchBase, "INPUT(G0)\nINPUT(G1)", "INPUT(G1)\nINPUT(G0)", 1)
+	_, c1, err := CanonicalBench("c", benchBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := CanonicalBench("c", swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CircuitDigest(c1) == CircuitDigest(c2) {
+		t.Error("PI order swap did not change the digest")
+	}
+}
+
+func TestConfigFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	base := ConfigFingerprint(workload.Config{}, 1)
+	// Workers, BatchWords, Order, Check and CheckSample are proven
+	// result-invariant (the order-invariance and audit tests), so they
+	// must not change the artifact identity.
+	for name, cfg := range map[string]workload.Config{
+		"workers":    {Workers: 8},
+		"batchwords": {BatchWords: 4},
+		"order":      {Order: "none"},
+		"check":      {Check: true, CheckSample: 17},
+		"defaults":   {T0MaxLen: 300, RandomT0Len: 1000, T0Compactor: "omit"},
+		"progress":   {Progress: func(string) {}},
+	} {
+		if got := ConfigFingerprint(cfg, 1); got != base {
+			t.Errorf("%s changed the fingerprint: %s vs %s", name, got, base)
+		}
+	}
+}
+
+func TestConfigFingerprintSensitiveToResults(t *testing.T) {
+	base := ConfigFingerprint(workload.Config{}, 1)
+	seen := map[string]string{"base": base}
+	for name, fp := range map[string]string{
+		"seed":        ConfigFingerprint(workload.Config{}, 2),
+		"t0maxlen":    ConfigFingerprint(workload.Config{T0MaxLen: 81}, 1),
+		"randlen":     ConfigFingerprint(workload.Config{RandomT0Len: 151}, 1),
+		"compactor":   ConfigFingerprint(workload.Config{T0Compactor: "restore"}, 1),
+		"skiprandom":  ConfigFingerprint(workload.Config{SkipRandom: true}, 1),
+		"skipdynamic": ConfigFingerprint(workload.Config{SkipDynamic: true}, 1),
+		"skipbase":    ConfigFingerprint(workload.Config{SkipBaselines: true}, 1),
+		"skipdir":     ConfigFingerprint(workload.Config{SkipDirected: true}, 1),
+		"uncollapsed": ConfigFingerprint(workload.Config{Uncollapsed: true}, 1),
+		"scanffs":     ConfigFingerprint(workload.Config{ScanFFs: 3}, 1),
+	} {
+		for prev, pfp := range seen {
+			if fp == pfp {
+				t.Errorf("%s and %s share a fingerprint", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	_, c, err := CanonicalBench("c", benchBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Circuit: CircuitDigest(c), Config: ConfigFingerprint(workload.Config{}, 1)}
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Errorf("round trip: got %+v want %+v", got, k)
+	}
+	for _, bad := range []string{"", "abc", "-", "abc-", "-def", "xyz-123", "ABC-def", "ab c-de"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) succeeded", bad)
+		}
+	}
+}

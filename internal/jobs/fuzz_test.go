@@ -1,0 +1,95 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzBenchUpload fuzzes the HTTP .bench upload path: any body —
+// malformed, truncated, binary, oversized — must yield a structured
+// response (2xx for accepted work, JSON-coded 4xx/503 otherwise),
+// never a panic (500) and never a leaked goroutine. The teardown
+// drains the queue and verifies the goroutine count returns to its
+// baseline.
+func FuzzBenchUpload(f *testing.F) {
+	f.Add([]byte(benchBase))
+	f.Add([]byte(benchShuffled))
+	f.Add([]byte("INPUT(G0"))                              // truncated declaration
+	f.Add([]byte("INPUT(A)\nOUTPUT(B)\nB = NOT(A)\n"))     // no flip-flops
+	f.Add([]byte("OUTPUT(B)\nG1 = DFF(B)\nB = NOT(G1)\n")) // no inputs
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\x01\x02\xff"))
+	f.Add([]byte("G1 = DFF(G1)\n"))                                   // self-loop, no PIs
+	f.Add([]byte("INPUT(A)\nA = AND(A, A)\n"))                        // redeclared PI
+	f.Add([]byte("INPUT(A)\nOUTPUT(Z)\nZ = FROB(A)\n"))               // unknown gate
+	f.Add(bytes.Repeat([]byte("INPUT(A)\n"), 200))                    // duplicate declarations
+	f.Add([]byte(strings.Repeat("x", 70000)))                         // over the body limit
+	f.Add([]byte("INPUT(A)\nOUTPUT(Z)\nG1 = DFF(A)\nZ = AND(A, G1)")) // valid, runs the pipeline
+
+	baseline := runtime.NumGoroutine()
+	queue := NewQueue(nil, Options{Workers: 2, MaxPending: 8})
+	srv := NewServer(queue)
+	srv.MaxBodyBytes = 1 << 16 // keep accepted circuits small and runs fast
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := queue.Close(ctx); err != nil {
+			f.Errorf("queue drain: %v", err)
+			return
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= baseline+2 {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		f.Errorf("goroutine leak after fuzzing: %d goroutines, baseline %d",
+			runtime.NumGoroutine(), baseline)
+	})
+
+	client := ts.Client()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := client.Post(ts.URL+"/v1/jobs", "text/plain", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("request failed: %v", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var d jobDTO
+			if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+				t.Fatalf("accepted job has malformed body: %v", err)
+			}
+			if d.ID == "" || d.Key == "" {
+				t.Fatalf("accepted job missing id/key: %+v", d)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusUnprocessableEntity, http.StatusServiceUnavailable:
+			var e struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("status %d without structured error body: %v", resp.StatusCode, err)
+			}
+			if e.Error.Code == "" {
+				t.Fatalf("status %d with empty error code", resp.StatusCode)
+			}
+		default:
+			t.Fatalf("unexpected status %d (a 500 means a handler panic)", resp.StatusCode)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testKey fabricates a distinct, well-formed key per index.
+func testKey(i int) Key {
+	return Key{
+		Circuit: fmt.Sprintf("%064x", i+1),
+		Config:  fmt.Sprintf("%032x", 0xabc),
+	}
+}
+
+// bundle fabricates an artifact bundle of exactly n bytes.
+func bundle(n int) *Artifacts {
+	return &Artifacts{Files: map[string][]byte{
+		"payload.txt": bytes.Repeat([]byte("x"), n),
+	}}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Artifacts{Files: map[string][]byte{
+		"summary.json": []byte(`{"v":1}`),
+		"t0.txt":       []byte("0101\n"),
+	}}
+	k := testKey(0)
+	if err := s.Put(k, a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if len(got.Files) != 2 || !bytes.Equal(got.Files["t0.txt"], a.Files["t0.txt"]) {
+		t.Errorf("round trip mismatch: %v", got.Files)
+	}
+	if _, ok, _ := s.Get(testKey(99)); ok {
+		t.Error("Get of absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Objects != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1, k2 := testKey(0), testKey(1), testKey(2)
+	if err := s.Put(k0, bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k1, bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if _, ok, err := s.Get(k0); !ok || err != nil {
+		t.Fatalf("Get k0: ok=%v err=%v", ok, err)
+	}
+	// A third 40-byte bundle exceeds the 100-byte budget: k1 must go.
+	if err := s.Put(k2, bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(k0) || s.Contains(k1) || !s.Contains(k2) {
+		t.Errorf("after eviction: k0=%v k1=%v k2=%v (want true,false,true)",
+			s.Contains(k0), s.Contains(k1), s.Contains(k2))
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Bytes != 80 {
+		t.Errorf("stats after eviction: %+v", st)
+	}
+}
+
+func TestStoreRejectsOverBudgetBundle(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(0), bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	// A bundle larger than the whole budget is not cached — and must not
+	// evict everything else on its way to failing.
+	if err := s.Put(testKey(1), bundle(500)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(testKey(1)) {
+		t.Error("over-budget bundle was cached")
+	}
+	if !s.Contains(testKey(0)) {
+		t.Error("over-budget Put evicted an unrelated bundle")
+	}
+}
+
+func TestStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1 := testKey(0), testKey(1)
+	if err := s.Put(k0, bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k1, bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(k0); !ok { // k1 is now LRU
+		t.Fatal("Get k0 missed")
+	}
+
+	// Reopen: contents and recency order must survive.
+	s2, err := OpenStore(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Contains(k0) || !s2.Contains(k1) {
+		t.Fatal("bundles lost across reopen")
+	}
+	if err := s2.Put(testKey(2), bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Contains(k0) || s2.Contains(k1) {
+		t.Errorf("recency lost across reopen: k0=%v k1=%v (want true,false)",
+			s2.Contains(k0), s2.Contains(k1))
+	}
+}
+
+func TestStoreRebuildsWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(0), bundle(40)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a lost index: reopen must rescan objects/.
+	if err := removeIndex(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Contains(testKey(0)) {
+		t.Error("bundle not recovered from objects/ scan")
+	}
+	if got, ok, err := s2.Get(testKey(0)); err != nil || !ok || len(got.Files["payload.txt"]) != 40 {
+		t.Errorf("recovered bundle unreadable: ok=%v err=%v", ok, err)
+	}
+}
+
+func removeIndex(dir string) error {
+	return os.Remove(filepath.Join(dir, "index.json"))
+}

@@ -21,7 +21,10 @@ func (c Config) auditOptions() oracle.AuditOptions {
 // here.
 func auditRun(s *fsim.Simulator, run *CircuitRun, opt oracle.AuditOptions) error {
 	c := run.Circuit
-	rep := oracle.AuditSequence(c, run.Faults, run.T0, run.T0Detected, opt)
+	rep := &oracle.Report{}
+	if run.T0 != nil {
+		rep = oracle.AuditSequence(c, run.Faults, run.T0, run.T0Detected, opt)
+	}
 
 	claim := func(ts *scan.Set) *fault.Set {
 		got := fault.NewSet(len(run.Faults))
@@ -30,10 +33,12 @@ func auditRun(s *fsim.Simulator, run *CircuitRun, opt oracle.AuditOptions) error
 		}
 		return got
 	}
-	required := claim(run.Base4Init)
-	rep.Merge(oracle.AuditCoverage(c, run.Faults, nil, run.Base4Comp, claim(run.Base4Comp), required, opt))
+	if run.Base4Comp != nil {
+		required := claim(run.Base4Init)
+		rep.Merge(oracle.AuditCoverage(c, run.Faults, run.Chain, run.Base4Comp, claim(run.Base4Comp), required, opt))
+	}
 	if run.BaseDyn != nil {
-		rep.Merge(oracle.AuditCoverage(c, run.Faults, nil, run.BaseDyn, claim(run.BaseDyn), nil, opt))
+		rep.Merge(oracle.AuditCoverage(c, run.Faults, run.Chain, run.BaseDyn, claim(run.BaseDyn), nil, opt))
 	}
 	if !rep.Ok() {
 		return fmt.Errorf("workload %s: audit: %s", run.Entry.Params.Name, rep)

@@ -16,7 +16,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden tables file")
 // accept an intentional change.
 func TestGoldenTables(t *testing.T) {
 	runs := smallRuns(t)
-	got := AllTables(runs)
+	got := AllTables(Rows(runs))
 	path := filepath.Join("testdata", "golden_tables.txt")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {

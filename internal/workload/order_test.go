@@ -28,7 +28,7 @@ func TestOrderInvariance(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				want := AllTables([]*CircuitRun{ref})
+				want := AllTables(Rows([]*CircuitRun{ref}))
 				if ref.SimStats.PassVectors == 0 {
 					t.Error("reference run reports zero simulation work")
 				}
@@ -55,7 +55,7 @@ func TestOrderInvariance(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if got := AllTables([]*CircuitRun{run}); got != want {
+					if got := AllTables(Rows([]*CircuitRun{run})); got != want {
 						t.Errorf("order=%s workers=%d words=%d: tables differ from order=none baseline\n--- want ---\n%s--- got ---\n%s",
 							arm.order, arm.workers, arm.batchWords, want, got)
 					}

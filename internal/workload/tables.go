@@ -9,29 +9,33 @@ import (
 	"repro/internal/tfault"
 )
 
+// The table functions consume []*Row — the table-level view produced by
+// Rows from fresh pipeline runs, or decoded from cached artifact
+// bundles by package jobs. Both sources render byte-identically.
+
 // Table1 reproduces "Table 1: Detected faults": per circuit, flip-flop
 // count, |C|, total faults, and the faults detected by T_0, by τ_seq
 // ("scan") and by the final test set.
-func Table1(runs []*CircuitRun) *tabfmt.Table {
+func Table1(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Table 1: Detected faults",
 		"circuit", "ff", "comb tsts", "flts", "T0", "scan", "final")
-	for _, r := range runs {
-		t.AddRow(r.Entry.Params.Name, r.Nsv(), len(r.Comb.Tests), len(r.Faults),
-			r.Proposed.T0Detected.Count(),
-			r.Proposed.SeqDetected.Count(),
-			r.Proposed.FinalDetected.Count())
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Nsv, r.CombTests, r.Faults,
+			r.Proposed.T0Detected,
+			r.Proposed.SeqDetected,
+			r.Proposed.FinalDetected)
 	}
 	return t
 }
 
 // Table2 reproduces "Table 2: Test lengths": L(T_0), L(T_seq) and the
 // number of length-1 tests added in Phase 3.
-func Table2(runs []*CircuitRun) *tabfmt.Table {
+func Table2(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Table 2: Test lengths",
 		"circuit", "T0", "scan", "added c.tst")
-	for _, r := range runs {
-		t.AddRow(r.Entry.Params.Name,
-			r.Proposed.T0Len, r.Proposed.TauSeq.Len(), r.Proposed.Added)
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			r.Proposed.T0Len, r.Proposed.SeqLen, r.Proposed.Added)
 	}
 	return t
 }
@@ -40,24 +44,24 @@ func Table2(runs []*CircuitRun) *tabfmt.Table {
 // baseline [2,3], the initial and compacted sets of [4], and the
 // proposed procedure's initial (end of Phase 3) and compacted (end of
 // Phase 4) sets for both T_0 sources, plus totals.
-func Table3(runs []*CircuitRun) *tabfmt.Table {
+func Table3(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Table 3: Numbers of clock cycles",
 		"circuit", "[2,3]", "[4] init", "[4] comp",
 		"prop init", "prop comp", "rand init", "rand comp")
 	var tot [7]int
-	for _, r := range runs {
-		nsv := r.Nsv()
+	for _, r := range rows {
+		nsv := r.Nsv
 		cells := make([]interface{}, 0, 8)
-		cells = append(cells, r.Entry.Params.Name)
+		cells = append(cells, r.Name)
 		vals := []int{
 			cyclesOrNeg(r.BaseDyn, nsv),
-			r.Base4Init.Cycles(nsv),
-			r.Base4Comp.Cycles(nsv),
-			r.Proposed.Initial.Cycles(nsv),
-			r.Proposed.Final.Cycles(nsv),
+			cyclesOrNeg(r.Base4Init, nsv),
+			cyclesOrNeg(r.Base4Comp, nsv),
+			cyclesOrNeg(r.Proposed.Initial, nsv),
+			cyclesOrNeg(r.Proposed.Final, nsv),
 		}
-		if r.ProposedRand != nil {
-			vals = append(vals, r.ProposedRand.Initial.Cycles(nsv), r.ProposedRand.Final.Cycles(nsv))
+		if r.Rand != nil {
+			vals = append(vals, r.Rand.Initial.Cycles(nsv), r.Rand.Final.Cycles(nsv))
 		} else {
 			vals = append(vals, -1, -1)
 		}
@@ -78,16 +82,16 @@ func Table3(runs []*CircuitRun) *tabfmt.Table {
 // Table4 reproduces "Table 4: At-speed test lengths": average and range
 // of the PI sequence lengths of the final test sets of [4] and of the
 // proposed procedure (both T_0 sources).
-func Table4(runs []*CircuitRun) *tabfmt.Table {
+func Table4(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Table 4: At-speed test lengths",
 		"circuit", "[4] ave", "[4] range",
 		"prop ave", "prop range", "rand ave", "rand range")
-	for _, r := range runs {
-		cells := []interface{}{r.Entry.Params.Name}
+	for _, r := range rows {
+		cells := []interface{}{r.Name}
 		cells = append(cells, atSpeedCells(r.Base4Comp)...)
 		cells = append(cells, atSpeedCells(r.Proposed.Final)...)
-		if r.ProposedRand != nil {
-			cells = append(cells, atSpeedCells(r.ProposedRand.Final)...)
+		if r.Rand != nil {
+			cells = append(cells, atSpeedCells(r.Rand.Final)...)
 		} else {
 			cells = append(cells, "-", "-")
 		}
@@ -98,18 +102,18 @@ func Table4(runs []*CircuitRun) *tabfmt.Table {
 
 // Table5 reproduces "Table 5: Results for random sequences": detections,
 // sequence lengths and added tests for the random-T_0 arm.
-func Table5(runs []*CircuitRun) *tabfmt.Table {
+func Table5(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Table 5: Results for random sequences",
 		"circuit", "T0", "scan", "final", "T0 len", "scan len", "added c.tst")
-	for _, r := range runs {
-		if r.ProposedRand == nil {
-			t.AddRow(r.Entry.Params.Name, "-", "-", "-", "-", "-", "-")
+	for _, r := range rows {
+		if r.Rand == nil {
+			t.AddRow(r.Name, "-", "-", "-", "-", "-", "-")
 			continue
 		}
-		p := r.ProposedRand
-		t.AddRow(r.Entry.Params.Name,
-			p.T0Detected.Count(), p.SeqDetected.Count(), p.FinalDetected.Count(),
-			p.T0Len, p.TauSeq.Len(), p.Added)
+		p := r.Rand
+		t.AddRow(r.Name,
+			p.T0Detected, p.SeqDetected, p.FinalDetected,
+			p.T0Len, p.SeqLen, p.Added)
 	}
 	return t
 }
@@ -119,19 +123,19 @@ func Table5(runs []*CircuitRun) *tabfmt.Table {
 // test sets of [4] and of the proposed procedure against the transition
 // (gate-delay) fault model. Length-1 tests launch no at-speed
 // transition, so the [4]-style sets should trail badly.
-func TableDelay(runs []*CircuitRun) *tabfmt.Table {
+func TableDelay(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Extension table: transition-fault (delay) coverage of final test sets",
 		"circuit", "tflts", "[4] init", "[4] comp", "prop det", "rand det")
-	for _, r := range runs {
+	for _, r := range rows {
 		tf := tfault.Universe(r.Circuit)
 		s := tfault.New(r.Circuit, tf)
-		cells := []interface{}{r.Entry.Params.Name, len(tf),
+		cells := []interface{}{r.Name, len(tf),
 			s.DetectSet(r.Base4Init).Count(), // all length-1 tests: no at-speed pair
 			s.DetectSet(r.Base4Comp).Count(),
 			s.DetectSet(r.Proposed.Final).Count(),
 		}
-		if r.ProposedRand != nil {
-			cells = append(cells, s.DetectSet(r.ProposedRand.Final).Count())
+		if r.Rand != nil {
+			cells = append(cells, s.DetectSet(r.Rand.Final).Count())
 		} else {
 			cells = append(cells, "-")
 		}
@@ -144,24 +148,24 @@ func TableDelay(runs []*CircuitRun) *tabfmt.Table {
 // sets (shift-in/out weighted transitions + capture switching activity,
 // package power). Compaction's other axis: the proposed sets trade many
 // scan shifts for longer functional runs, cutting shift power.
-func TablePower(runs []*CircuitRun) *tabfmt.Table {
+func TablePower(rows []*Row) *tabfmt.Table {
 	t := tabfmt.New("Extension table: test power of final test sets (toggles)",
 		"circuit", "[4] shift", "[4] capt", "prop shift", "prop capt")
-	for _, r := range runs {
+	for _, r := range rows {
 		b := power.Analyze(r.Circuit, nil, r.Base4Comp)
 		p := power.Analyze(r.Circuit, nil, r.Proposed.Final)
-		t.AddRow(r.Entry.Params.Name,
+		t.AddRow(r.Name,
 			b.ShiftInWTM+b.ShiftOutWTM, b.CaptureToggles,
 			p.ShiftInWTM+p.ShiftOutWTM, p.CaptureToggles)
 	}
 	return t
 }
 
-// AllTables renders Tables 1-5 for the given runs.
-func AllTables(runs []*CircuitRun) string {
+// AllTables renders Tables 1-5 for the given rows.
+func AllTables(rows []*Row) string {
 	out := ""
 	for _, t := range []*tabfmt.Table{
-		Table1(runs), Table2(runs), Table3(runs), Table4(runs), Table5(runs),
+		Table1(rows), Table2(rows), Table3(rows), Table4(rows), Table5(rows),
 	} {
 		out += t.Render() + "\n"
 	}

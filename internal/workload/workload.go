@@ -19,6 +19,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -85,8 +86,39 @@ type Config struct {
 	// CheckSample bounds the faults re-simulated per audited artifact
 	// (0 = the oracle's default, negative = every fault).
 	CheckSample int
+	// ScanFFs enables partial scan: only the first ScanFFs flip-flops
+	// join the scan chain (0 or >= the FF count keeps full scan). The
+	// chain threads through ATPG, the simulator and the oracle audit.
+	ScanFFs int
+	// SkipBaselines skips the [4] static-compaction baselines and the
+	// dynamic baseline (the proposed-procedure-only mode the scancompact
+	// CLI uses).
+	SkipBaselines bool
+	// SkipDirected skips the directed-T_0 arm entirely (no sequential
+	// generation, no [11]-style conditioning); combine with RandomT0Len
+	// to run the random arm alone.
+	SkipDirected bool
+	// Progress, when non-nil, is called with a short phase name ("atpg",
+	// "t0", "baselines", "proposed", "random", "audit") as the pipeline
+	// enters each phase. Observation only — it never changes results.
+	Progress func(phase string) `json:"-"`
 	// Core passes extra options to the proposed procedure.
-	Core core.Options
+	Core core.Options `json:"-"`
+}
+
+// Chain builds the partial-scan chain the config implies for ckt: the
+// first ScanFFs flip-flops, or nil under full scan. Shared by the
+// pipeline and by clients that need the chain to post-process a cached
+// result (e.g. expected-response generation).
+func (c Config) Chain(ckt *circuit.Circuit) (*scan.Chain, error) {
+	if c.ScanFFs <= 0 || c.ScanFFs >= ckt.NumFFs() {
+		return nil, nil
+	}
+	ffs := make([]int, c.ScanFFs)
+	for i := range ffs {
+		ffs[i] = i
+	}
+	return scan.NewChain(ckt.NumFFs(), ffs)
 }
 
 func (c Config) withDefaults() Config {
@@ -118,7 +150,9 @@ func (c Config) withDefaults() Config {
 type CircuitRun struct {
 	Entry   gen.RosterEntry
 	Circuit *circuit.Circuit
-	Faults  []fault.Fault
+	// Chain is the partial-scan chain (nil under full scan).
+	Chain  *scan.Chain
+	Faults []fault.Fault
 	// Collapsed maps the simulated representatives back to the full
 	// fault universe (nil when the run targeted the uncollapsed list).
 	Collapsed *fault.Collapsed
@@ -138,15 +172,56 @@ type CircuitRun struct {
 }
 
 // Nsv returns the scanned state variable count.
-func (r *CircuitRun) Nsv() int { return r.Circuit.NumFFs() }
+func (r *CircuitRun) Nsv() int {
+	if r.Chain != nil {
+		return r.Chain.Nsv()
+	}
+	return r.Circuit.NumFFs()
+}
 
-// Run executes the pipeline for one roster entry.
+// Run executes the pipeline for one roster entry. The effective seed is
+// entry.Params.Seed + cfg.Seed, so the roster defaults reproduce the
+// paper's setup.
 func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
-	cfg = cfg.withDefaults()
 	ckt, err := gen.Generate(entry.Params)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
 	}
+	return runPipeline(ckt, entry, entry.Params.Seed+cfg.Seed, cfg)
+}
+
+// RunCircuit executes the pipeline for an already-built circuit (for
+// example one parsed from an uploaded .bench netlist). The effective
+// seed is cfg.Seed alone — there is no roster entry to offset it.
+func RunCircuit(ckt *circuit.Circuit, cfg Config) (*CircuitRun, error) {
+	entry := gen.RosterEntry{
+		Params: gen.Params{
+			Name: ckt.Name,
+			PIs:  ckt.NumPIs(),
+			POs:  ckt.NumPOs(),
+			FFs:  ckt.NumFFs(),
+		},
+		PaperFFs: ckt.NumFFs(),
+		Scale:    1,
+	}
+	return runPipeline(ckt, entry, cfg.Seed, cfg)
+}
+
+// runPipeline is the shared pipeline body behind Run and RunCircuit —
+// the one code path the CLIs and the compactd service both execute.
+func runPipeline(ckt *circuit.Circuit, entry gen.RosterEntry, seed int64, cfg Config) (*CircuitRun, error) {
+	cfg = cfg.withDefaults()
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	name := entry.Params.Name
+
+	chain, err := cfg.Chain(ckt)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %v", name, err)
+	}
+
 	var faults []fault.Fault
 	var collapsed *fault.Collapsed
 	if cfg.Uncollapsed {
@@ -155,17 +230,17 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 		collapsed = fault.CollapseWithMap(ckt)
 		faults = collapsed.Reps
 	}
-	seed := entry.Params.Seed + cfg.Seed
 
-	comb, err := atpg.Generate(ckt, faults, atpg.Options{Seed: seed})
+	progress("atpg")
+	comb, err := atpg.Generate(ckt, faults, atpg.Options{Seed: seed, Chain: chain})
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
+		return nil, fmt.Errorf("workload %s: %v", name, err)
 	}
 	if len(comb.Tests) == 0 {
-		return nil, fmt.Errorf("workload %s: empty combinational test set", entry.Params.Name)
+		return nil, fmt.Errorf("workload %s: empty combinational test set", name)
 	}
 
-	s := fsim.New(ckt, faults)
+	s := fsim.NewChain(ckt, faults, chain)
 	if cfg.Workers != 0 {
 		s.SetWorkers(cfg.Workers)
 	}
@@ -177,56 +252,69 @@ func Run(entry gen.RosterEntry, cfg Config) (*CircuitRun, error) {
 		adi.Install(s, adi.Options{Seed: seed})
 	case "none":
 	default:
-		return nil, fmt.Errorf("workload %s: unknown Order %q", entry.Params.Name, cfg.Order)
+		return nil, fmt.Errorf("workload %s: unknown Order %q", name, cfg.Order)
 	}
-	run := &CircuitRun{Entry: entry, Circuit: ckt, Faults: faults, Collapsed: collapsed, Comb: comb}
+	run := &CircuitRun{Entry: entry, Circuit: ckt, Chain: chain, Faults: faults, Collapsed: collapsed, Comb: comb}
 
 	// Directed T_0, compacted the way [11] conditions the sequences the
 	// paper takes from [10]/[12].
-	t0res := seqgen.Generate(ckt, faults, seqgen.Options{Seed: seed, MaxLen: cfg.T0MaxLen})
-	if len(t0res.Seq) == 0 {
-		return nil, fmt.Errorf("workload %s: empty T0", entry.Params.Name)
-	}
-	t0c := t0res.Seq
-	if len(t0c) <= 800 {
-		switch cfg.T0Compactor {
-		case "", "omit":
-			t0c, _ = vecomit.CompactSequence(s, t0res.Seq, t0res.Detected, vecomit.Options{MaxPasses: 1})
-		case "restore":
-			t0c, _ = restore.Compact(s, t0res.Seq, t0res.Detected, restore.Options{})
-		case "none":
-		default:
-			return nil, fmt.Errorf("workload %s: unknown T0Compactor %q", entry.Params.Name, cfg.T0Compactor)
+	if !cfg.SkipDirected {
+		progress("t0")
+		t0res := seqgen.Generate(ckt, faults, seqgen.Options{Seed: seed, MaxLen: cfg.T0MaxLen})
+		if len(t0res.Seq) == 0 {
+			return nil, fmt.Errorf("workload %s: empty T0", name)
 		}
+		t0c := t0res.Seq
+		if len(t0c) <= 800 {
+			switch cfg.T0Compactor {
+			case "", "omit":
+				t0c, _ = vecomit.CompactSequence(s, t0res.Seq, t0res.Detected, vecomit.Options{MaxPasses: 1})
+			case "restore":
+				t0c, _ = restore.Compact(s, t0res.Seq, t0res.Detected, restore.Options{})
+			case "none":
+			default:
+				return nil, fmt.Errorf("workload %s: unknown T0Compactor %q", name, cfg.T0Compactor)
+			}
+		}
+		run.T0 = t0c
+		run.T0Detected = s.Detect(t0c, fsim.Options{})
+	} else if cfg.SkipRandom {
+		return nil, fmt.Errorf("workload %s: SkipDirected and SkipRandom leave nothing to run", name)
 	}
-	run.T0 = t0c
-	run.T0Detected = s.Detect(t0c, fsim.Options{})
 
 	// Baselines.
-	run.Base4Init = scomp.FromCombTests(comb.Tests)
-	run.Base4Comp, _ = scomp.Compact(s, run.Base4Init, scomp.Options{})
-	if !cfg.SkipDynamic {
-		run.BaseDyn, _ = dyncomp.Compact(s, comb.Tests, dyncomp.Options{})
+	if !cfg.SkipBaselines {
+		progress("baselines")
+		run.Base4Init = scomp.FromCombTests(comb.Tests)
+		run.Base4Comp, _ = scomp.Compact(s, run.Base4Init, scomp.Options{})
+		if !cfg.SkipDynamic {
+			run.BaseDyn, _ = dyncomp.Compact(s, comb.Tests, dyncomp.Options{})
+		}
 	}
 
 	// Proposed procedure, both T_0 sources.
 	coreOpt := cfg.Core
 	if cfg.Check && coreOpt.Audit == nil {
-		coreOpt.Audit = oracle.Auditor(ckt, faults, nil, cfg.auditOptions())
+		coreOpt.Audit = oracle.Auditor(ckt, faults, chain, cfg.auditOptions())
 	}
-	run.Proposed, err = core.Run(s, comb.Tests, run.T0, coreOpt)
-	if err != nil {
-		return nil, fmt.Errorf("workload %s: %v", entry.Params.Name, err)
+	if !cfg.SkipDirected {
+		progress("proposed")
+		run.Proposed, err = core.Run(s, comb.Tests, run.T0, coreOpt)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %v", name, err)
+		}
 	}
 	if !cfg.SkipRandom {
+		progress("random")
 		randT0 := seqgen.Random(ckt, cfg.RandomT0Len, seed+1)
 		run.ProposedRand, err = core.Run(s, comb.Tests, randT0, coreOpt)
 		if err != nil {
-			return nil, fmt.Errorf("workload %s (random T0): %v", entry.Params.Name, err)
+			return nil, fmt.Errorf("workload %s (random T0): %v", name, err)
 		}
 	}
 	run.SimStats = s.Stats() // before the audit's extra re-simulation
 	if cfg.Check {
+		progress("audit")
 		if err := auditRun(s, run, cfg.auditOptions()); err != nil {
 			return nil, err
 		}
@@ -244,8 +332,11 @@ func RunByName(name string, cfg Config) (*CircuitRun, error) {
 }
 
 // RunAll runs the pipeline for the named circuits (nil = whole roster)
-// with the given parallelism (<=0 means 4). Results keep roster order;
-// the first error aborts the batch result but running circuits finish.
+// with the given parallelism (<=0 means 4). Results keep roster order.
+// Every entry runs to completion regardless of sibling failures: a
+// failed entry leaves a nil hole in the result slice and contributes
+// one error to the joined error value, so a batch job over many
+// circuits salvages every run that succeeded.
 func RunAll(names []string, cfg Config, parallelism int) ([]*CircuitRun, error) {
 	if names == nil {
 		names = gen.RosterNames()
@@ -267,10 +358,5 @@ func RunAll(names []string, cfg Config, parallelism int) ([]*CircuitRun, error) 
 		}(i, name)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return runs, nil
+	return runs, errors.Join(errs...)
 }

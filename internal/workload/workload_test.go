@@ -105,7 +105,7 @@ func TestRunByNameUnknown(t *testing.T) {
 
 func TestTablesRender(t *testing.T) {
 	runs := smallRuns(t)
-	out := AllTables(runs)
+	out := AllTables(Rows(runs))
 	for _, want := range []string{
 		"Table 1: Detected faults",
 		"Table 2: Test lengths",
@@ -126,7 +126,7 @@ func TestTable3TotalsConsistent(t *testing.T) {
 	for _, r := range runs {
 		total += r.Proposed.Final.Cycles(r.Nsv())
 	}
-	out := Table3(runs).Render()
+	out := Table3(Rows(runs)).Render()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	last := lines[len(lines)-1]
 	if !strings.HasPrefix(last, "total") {
@@ -153,7 +153,7 @@ func TestSkipArms(t *testing.T) {
 	if r.ProposedRand != nil || r.BaseDyn != nil {
 		t.Error("skipped arms should be nil")
 	}
-	out := AllTables([]*CircuitRun{r})
+	out := AllTables(Rows([]*CircuitRun{r}))
 	if !strings.Contains(out, "-") {
 		t.Error("skipped arms should render as dashes")
 	}
@@ -195,7 +195,7 @@ func TestT0CompactorOptions(t *testing.T) {
 
 func TestTableDelayRender(t *testing.T) {
 	runs := smallRuns(t)
-	out := TableDelay(runs).Render()
+	out := TableDelay(Rows(runs)).Render()
 	if !strings.Contains(out, "transition-fault") {
 		t.Errorf("missing title: %q", out)
 	}
@@ -215,12 +215,40 @@ func TestTableDelayRender(t *testing.T) {
 
 func TestTablePowerRender(t *testing.T) {
 	runs := smallRuns(t)
-	out := TablePower(runs).Render()
+	out := TablePower(Rows(runs)).Render()
 	if !strings.Contains(out, "test power") {
 		t.Errorf("missing title: %q", out)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 3+len(runs) {
 		t.Errorf("row count = %d, want %d", len(lines)-3, len(runs))
+	}
+}
+
+// TestRunAllCollectsErrors: a batch keeps running past a failing entry,
+// reporting every failure and leaving a nil hole per failed circuit —
+// no fail-fast, no lost results.
+func TestRunAllCollectsErrors(t *testing.T) {
+	names := []string{"b01", "no-such-a", "no-such-b"}
+	runs, err := RunAll(names, fastCfg(), 2)
+	if err == nil {
+		t.Fatal("RunAll with unknown circuits returned no error")
+	}
+	for _, want := range []string{"no-such-a", "no-such-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
+		}
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d results, want 3", len(runs))
+	}
+	if runs[0] == nil {
+		t.Error("the successful entry was discarded")
+	}
+	if runs[1] != nil || runs[2] != nil {
+		t.Error("failed entries should leave nil holes")
+	}
+	if got := len(Rows(runs)); got != 1 {
+		t.Errorf("Rows over holed batch: %d rows, want 1", got)
 	}
 }
