@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	tables [-p N] [-cache DIR] [circuit ...]
+//	tables [-p N] [-cache DIR] [-universe] [-cpuprofile cpu.out] [circuit ...]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/gen"
 	"repro/internal/jobs"
 	"repro/internal/workload"
@@ -45,8 +46,23 @@ func main() {
 	collapse := flag.Bool("collapse", true, "target the structurally collapsed fault list instead of the full universe")
 	check := flag.Bool("check", false, "audit every run against the scalar reference simulator (sampled; slower)")
 	checkSample := flag.Int("checksample", 0, "faults re-simulated per audit direction (0 = default, -1 = all)")
+	universe := flag.Bool("universe", false, "also print the uncollapsed-universe coverage extension table")
+	noLedger := flag.Bool("noledger", false, "disable the detection-ledger fast paths in the compaction engines (tables are identical; slower)")
+	speculate := flag.Int("speculate", 0, "concurrent trial evaluations per compaction commit step (<=1 = serial; tables are identical)")
 	cacheDir := flag.String("cache", "", "artifact cache directory (empty = no caching)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := workload.Config{
 		T0MaxLen:    *t0len,
@@ -59,6 +75,8 @@ func main() {
 		Uncollapsed: !*collapse,
 		Check:       *check,
 		CheckSample: *checkSample,
+		NoLedger:    *noLedger,
+		Speculate:   *speculate,
 	}
 	if *workers == 0 {
 		cfg.Workers = -1 // NumCPU
@@ -124,6 +142,9 @@ func main() {
 		if *pow {
 			tabs = append(tabs, workload.TablePower(rows))
 		}
+		if *universe {
+			tabs = append(tabs, workload.TableUniverse(rows))
+		}
 		for _, t := range tabs {
 			fmt.Println(t.RenderMarkdown())
 		}
@@ -134,6 +155,9 @@ func main() {
 		}
 		if *pow {
 			fmt.Print(workload.TablePower(rows).Render())
+		}
+		if *universe {
+			fmt.Print(workload.TableUniverse(rows).Render())
 		}
 	}
 	if *check {

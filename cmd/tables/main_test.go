@@ -19,11 +19,12 @@ func goldenCfg() workload.Config {
 var goldenNames = []string{"b01", "b02", "b06"}
 
 // render produces everything the command can print: the paper's five
-// tables plus both extension tables.
+// tables plus all three extension tables.
 func render(runs []*workload.CircuitRun) string {
 	return workload.AllTables(workload.Rows(runs)) +
 		workload.TableDelay(workload.Rows(runs)).Render() +
-		workload.TablePower(workload.Rows(runs)).Render()
+		workload.TablePower(workload.Rows(runs)).Render() +
+		workload.TableUniverse(workload.Rows(runs)).Render()
 }
 
 // TestGoldenTables regenerates all tables at fixed seeds and diffs them

@@ -3,6 +3,9 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -10,6 +13,48 @@ import (
 	"repro/internal/gen"
 	"repro/internal/verilog"
 )
+
+// StartProfiles resolves the common -cpuprofile/-memprofile flag pair:
+// it starts CPU profiling into cpuPath (empty = off) and returns a stop
+// function that finishes the CPU profile and writes a heap profile —
+// after a forced GC, so live allocations dominate — to memPath (empty =
+// off). Call stop exactly once on the way out; note that log.Fatal
+// bypasses deferred calls, so error exits lose the profiles (the usual
+// trade-off for CLI profiling).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
 
 // LoadCircuit resolves the common -bench/-roster flag pair: benchPath
 // parses a netlist from disk (.bench format, or structural Verilog when

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/fault"
@@ -76,9 +77,24 @@ type Options struct {
 	// uniform stride, so the pool stays representative.
 	SICandidateLimit int
 
-	// Omit configures the Phase 2 engine.
+	// NoLedger disables the detection-ledger fast paths everywhere this
+	// run drives them: the Phase 2 and Phase 4 engines fall back to
+	// their pre-ledger loops, Phase 4 is not seeded with the τ_seq
+	// record, and the final coverage accounting re-grades every test
+	// cold. Every table, detected set and N_cyc is byte-identical either
+	// way; only the simulation cost differs (BENCH_compact.json measures
+	// the gap).
+	NoLedger bool
+	// Speculate is the number of concurrent trial evaluations the
+	// Phase 2 and Phase 4 engines may run (<= 1 = serial). Results are
+	// bit-identical at every setting.
+	Speculate int
+
+	// Omit configures the Phase 2 engine. Options.NoLedger/Speculate
+	// above are folded in by withDefaults (explicit per-engine settings
+	// win).
 	Omit vecomit.Options
-	// Static configures the Phase 4 engine.
+	// Static configures the Phase 4 engine (same folding rule).
 	Static scomp.Options
 
 	// Audit, when non-nil, is called with the completed Result before Run
@@ -103,7 +119,27 @@ func (o Options) withDefaults() Options {
 	if o.SIScoreSample == 0 {
 		o.SIScoreSample = 1008
 	}
+	o.Omit.NoLedger = o.Omit.NoLedger || o.NoLedger
+	o.Static.NoLedger = o.Static.NoLedger || o.NoLedger
+	if o.Omit.Speculate == 0 {
+		o.Omit.Speculate = o.Speculate
+	}
+	if o.Static.Speculate == 0 {
+		o.Static.Speculate = o.Speculate
+	}
 	return o
+}
+
+// PhaseTimings records the wall-clock spent in each phase of one run,
+// accumulated across the Phase 1+2 iterations. The split is the one the
+// compaction benchmarks report: Phase 1 is scan-in/scan-out selection,
+// Phase 2 vector omission plus the τ_C grading, Phase 3 the coverage
+// top-up, Phase 4 static combining plus the final coverage accounting.
+type PhaseTimings struct {
+	Phase1 time.Duration
+	Phase2 time.Duration
+	Phase3 time.Duration
+	Phase4 time.Duration
 }
 
 // IterationTrace records one Phase 1+2 iteration for diagnostics.
@@ -153,6 +189,13 @@ type Result struct {
 
 	// Trace holds one entry per Phase 1+2 iteration.
 	Trace []IterationTrace
+
+	// Timings records the wall-clock spent in each phase.
+	Timings PhaseTimings
+	// OmitStats aggregates the Phase 2 engine's stats across iterations;
+	// StaticStats reports the Phase 4 engine's.
+	OmitStats   vecomit.Stats
+	StaticStats scomp.Stats
 }
 
 // Run executes the procedure. C must be non-empty with fully specified
@@ -173,8 +216,13 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 	cur := T0.Clone()
 	var best scan.Test
 	var bestDet *fault.Set
+	var bestRec *fsim.Record
+	// The τ_seq record is only worth keeping when the ledger-backed
+	// Phase 4 can be seeded with it.
+	useLedgerP4 := !opt.Static.NoLedger && !opt.SkipStaticCompaction
 
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		p1start := time.Now()
 		// Step 1: F_0 = faults detected by the sequence without scan.
 		f0 := s.Detect(cur, fsim.Options{})
 		if iter == 0 {
@@ -242,14 +290,29 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 			return nil, fmt.Errorf("core: no scan-out time covers F_SI (iteration %d)", iter)
 		}
 		tso := scan.Test{SI: si.Clone(), Seq: cur[:u+1].Clone()}
+		res.Timings.Phase1 += time.Since(p1start)
 
 		// Phase 2: vector omission (skipped beyond the length bound,
 		// where it is quadratic and historically unproductive).
+		p2start := time.Now()
 		tc := tso
 		if !opt.SkipOmission && tso.Len() <= opt.OmitMaxLen {
-			tc, _ = vecomit.CompactTest(s, tso, fso, opt.Omit)
+			var ost vecomit.Stats
+			tc, ost = vecomit.CompactTest(s, tso, fso, opt.Omit)
+			res.OmitStats.Add(ost)
 		}
-		fc := s.DetectTest(tc.SI, tc.Seq, nil)
+		// The full-universe grading of τ_C doubles as its ledger record:
+		// recording rides the same early-exit passes, and the record of
+		// the winning iteration seeds Phase 4's ledger row for τ_seq.
+		var fc *fault.Set
+		var fcRec *fsim.Record
+		if useLedgerP4 {
+			fcRec = s.RecordTest(tc.SI, tc.Seq, nil)
+			fc = fcRec.Detected()
+		} else {
+			fc = s.DetectTest(tc.SI, tc.Seq, nil)
+		}
+		res.Timings.Phase2 += time.Since(p2start)
 
 		res.Trace = append(res.Trace, IterationTrace{
 			SIIndex:     siIdx,
@@ -269,7 +332,7 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 
 		if opt.UseLastIteration || bestDet == nil || fc.Count() > bestDet.Count() ||
 			(fc.Count() == bestDet.Count() && tc.Len() < best.Len()) {
-			best, bestDet = tc.Clone(), fc
+			best, bestDet, bestRec = tc.Clone(), fc, fcRec
 		}
 		cur = tc.Seq.Clone()
 		if reused {
@@ -280,6 +343,7 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 	res.SeqDetected = bestDet
 
 	// --- Phase 3: coverage top-up with length-1 tests from C ---
+	p3start := time.Now()
 	undet := allFaults(nf)
 	undet.SubtractWith(bestDet)
 	added, addedDet := phase3(s, C, undet)
@@ -291,6 +355,7 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 		res.Initial.Tests = append(res.Initial.Tests, t)
 		res.InitialDetected.UnionWith(addedDet[i])
 	}
+	res.Timings.Phase3 = time.Since(p3start)
 
 	// --- Phase 4: static compaction [4] ---
 	if opt.SkipStaticCompaction {
@@ -303,18 +368,45 @@ func Run(s *fsim.Simulator, C []atpg.CombTest, T0 logic.Sequence, opt Options) (
 		}
 		return res, nil
 	}
-	final, _ := scomp.Compact(s, res.Initial, opt.Static)
+	p4start := time.Now()
+	var final *scan.Set
+	var led *fsim.Ledger
+	if opt.Static.NoLedger {
+		final, res.StaticStats = scomp.Compact(s, res.Initial, opt.Static)
+	} else {
+		// Seed the combiner's ledger with the τ_seq record the iteration
+		// loop already paid for (test 0 of the initial set); the Phase 3
+		// additions are graded by the combiner itself.
+		staticOpt := opt.Static
+		if bestRec != nil {
+			staticOpt.InitialRecords = []*fsim.Record{bestRec}
+		}
+		final, led, res.StaticStats = scomp.CompactWithLedger(s, res.Initial, staticOpt)
+	}
 	res.Final = final
 	res.FinalDetected = fault.NewSet(nf)
 	// Drop-on-detect: the union only needs each fault detected once, so
 	// faults covered by earlier tests are excluded from the remaining
-	// simulations.
+	// simulations. The combiner's ledger rows are exact-positive (every
+	// credited detection is real), so crediting them first shrinks — and
+	// often empties — each test's remaining target set; the computed
+	// union is identical to the cold re-grade.
 	rest := allFaults(nf)
-	for _, t := range final.Tests {
+	for i, t := range final.Tests {
+		var credited *fault.Set
+		if led != nil && led.Row(i) != nil {
+			credited = rest.Clone()
+			credited.IntersectWith(led.Row(i).Detected())
+			rest.SubtractWith(credited)
+		}
 		got := s.DetectTest(t.SI, t.Seq, rest)
+		if credited != nil {
+			got.UnionWith(credited)
+		}
 		res.FinalDetected.UnionWith(got)
 		rest.SubtractWith(got)
 	}
+	res.Timings.Phase4 = time.Since(p4start)
 	if opt.Audit != nil {
 		if err := opt.Audit(res); err != nil {
 			return nil, fmt.Errorf("core: audit failed: %w", err)

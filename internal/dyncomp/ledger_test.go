@@ -1,0 +1,49 @@
+package dyncomp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLedgerEquivalence is the dyncomp arm of the byte-identity
+// contract: the ledger engine — serial and speculative, at any worker
+// count — scores every extension candidate exactly like the pre-ledger
+// engine, so the built test set, the extension count and the candidate
+// count are identical, while strictly fewer fault slots are simulated.
+func TestLedgerEquivalence(t *testing.T) {
+	for _, seed := range []int64{31, 36} {
+		s, C, _ := setup(t, seed)
+		ref, refSt := Compact(s, C, Options{NoLedger: true})
+
+		for _, workers := range []int{1, 4} {
+			for _, spec := range []int{0, 3} {
+				name := fmt.Sprintf("seed=%d workers=%d spec=%d", seed, workers, spec)
+				s.SetWorkers(workers)
+				out, st := Compact(s, C, Options{Speculate: spec})
+				if out.NumTests() != ref.NumTests() {
+					t.Fatalf("%s: %d tests, want %d", name, out.NumTests(), ref.NumTests())
+				}
+				for i := range out.Tests {
+					if !out.Tests[i].SI.Equal(ref.Tests[i].SI) ||
+						len(out.Tests[i].Seq) != len(ref.Tests[i].Seq) {
+						t.Fatalf("%s: test %d differs from pre-ledger path", name, i)
+					}
+					for u := range out.Tests[i].Seq {
+						if !out.Tests[i].Seq[u].Equal(ref.Tests[i].Seq[u]) {
+							t.Fatalf("%s: test %d vector %d differs", name, i, u)
+						}
+					}
+				}
+				if st.Tests != refSt.Tests || st.Extensions != refSt.Extensions ||
+					st.Candidates != refSt.Candidates {
+					t.Fatalf("%s: stats differ: %+v vs %+v", name, st, refSt)
+				}
+				if st.Candidates > 0 && st.FaultsSimulated >= refSt.FaultsSimulated {
+					t.Fatalf("%s: ledger simulated %d fault slots, legacy %d — no saving",
+						name, st.FaultsSimulated, refSt.FaultsSimulated)
+				}
+			}
+		}
+		s.SetWorkers(1)
+	}
+}

@@ -423,6 +423,7 @@ type runSpec struct {
 	scanOut bool
 	good    *goodTrace   // memoized good machine; nil = slot 0 carries it
 	profile *Profile     // per-time recording target, or nil
+	rec     *Record      // detection-record target, or nil (see record.go)
 	abort   *atomic.Bool // cross-pass abort for must-detect checks, or nil
 	repack  bool         // survivor repacking enabled (see run)
 }
@@ -433,7 +434,7 @@ type runSpec struct {
 // which it cannot once everything is detected).
 func (s *Simulator) Detect(seq logic.Sequence, opt Options) *fault.Set {
 	detected := fault.NewSet(len(s.faults))
-	s.run(seq, opt, detected, nil, nil)
+	s.run(seq, opt, detected, nil, nil, nil)
 	return detected
 }
 
@@ -457,7 +458,7 @@ func (s *Simulator) DetectsAll(seq logic.Sequence, opt Options, must *fault.Set)
 	opt.Potential = nil
 	var abort atomic.Bool
 	detected := fault.NewSet(len(s.faults))
-	s.run(seq, opt, detected, nil, &abort)
+	s.run(seq, opt, detected, nil, nil, &abort)
 	if abort.Load() {
 		return false
 	}
@@ -518,13 +519,17 @@ func (s *Simulator) targetIndices(targets *fault.Set) []int {
 // is independent of pass packing, so results are bit-identical; each
 // generation is at most half the size of the previous one, so the
 // loop terminates in O(log targets) generations.
-func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, profile *Profile, abort *atomic.Bool) {
+func (s *Simulator) run(seq logic.Sequence, opt Options, detected *fault.Set, profile *Profile, rec *Record, abort *atomic.Bool) {
 	targets := s.targetIndices(opt.Targets)
 	if len(targets) == 0 {
 		return
 	}
 	spec := &runSpec{
-		seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, abort: abort,
+		seq: seq, init: opt.Init, scanOut: opt.ScanOut, profile: profile, rec: rec, abort: abort,
+		// Recording (rec) deliberately keeps repacking on: a Record's
+		// per-fault data is packing-independent, and survivors of an
+		// aborted pass are re-simulated from scratch, so their entries are
+		// written (exactly once) by the generation that detects them.
 		repack: abort == nil && profile == nil && opt.Potential == nil && len(seq) > 1,
 	}
 
@@ -729,6 +734,9 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 					if profile != nil {
 						profile.poDetect[batch[bi]] = int32(u)
 					}
+					if spec.rec != nil {
+						spec.rec.first[batch[bi]] = int32(u)
+					}
 				}
 			}
 			detMask |= diff
@@ -795,6 +803,9 @@ func (w *worker) runBatch(batch []int, spec *runSpec, detected, potential *fault
 		for bi := range batch {
 			if sdiff&(1<<(uint(bi)+slot0)) != 0 {
 				detected.Add(batch[bi])
+				if spec.rec != nil {
+					spec.rec.so[batch[bi]] = true
+				}
 			}
 		}
 	}
@@ -912,6 +923,9 @@ func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, p
 					if profile != nil {
 						profile.poDetect[fi] = int32(u)
 					}
+					if spec.rec != nil {
+						spec.rec.first[fi] = int32(u)
+					}
 				}
 				detMask[k] |= d
 			}
@@ -986,7 +1000,11 @@ func (wk *worker) runBatchVec(batch []int, spec *runSpec, width int, detected, p
 			}
 			for m := diff[k] & batchMask[k] &^ detMask[k]; m != 0; m &= m - 1 {
 				b := bits.TrailingZeros64(m)
-				detected.Add(batch[k*64+b-slot0])
+				fi := batch[k*64+b-slot0]
+				detected.Add(fi)
+				if spec.rec != nil {
+					spec.rec.so[fi] = true
+				}
 			}
 		}
 	}

@@ -47,12 +47,14 @@ func (a *Artifacts) Size() int64 {
 
 // armSummary mirrors workload.ArmRow's scalar half.
 type armSummary struct {
-	T0Detected    int `json:"t0_detected"`
-	SeqDetected   int `json:"seq_detected"`
-	FinalDetected int `json:"final_detected"`
-	T0Len         int `json:"t0_len"`
-	SeqLen        int `json:"seq_len"`
-	Added         int `json:"added"`
+	T0Detected            int `json:"t0_detected"`
+	SeqDetected           int `json:"seq_detected"`
+	FinalDetected         int `json:"final_detected"`
+	UniverseSeqDetected   int `json:"universe_seq_detected"`
+	UniverseFinalDetected int `json:"universe_final_detected"`
+	T0Len                 int `json:"t0_len"`
+	SeqLen                int `json:"seq_len"`
+	Added                 int `json:"added"`
 }
 
 // summary is the JSON scalar record of one run. Field order is fixed by
@@ -77,12 +79,14 @@ func armToSummary(a *workload.ArmRow) *armSummary {
 		return nil
 	}
 	return &armSummary{
-		T0Detected:    a.T0Detected,
-		SeqDetected:   a.SeqDetected,
-		FinalDetected: a.FinalDetected,
-		T0Len:         a.T0Len,
-		SeqLen:        a.SeqLen,
-		Added:         a.Added,
+		T0Detected:            a.T0Detected,
+		SeqDetected:           a.SeqDetected,
+		FinalDetected:         a.FinalDetected,
+		UniverseSeqDetected:   a.UniverseSeqDetected,
+		UniverseFinalDetected: a.UniverseFinalDetected,
+		T0Len:                 a.T0Len,
+		SeqLen:                a.SeqLen,
+		Added:                 a.Added,
 	}
 }
 
@@ -94,7 +98,7 @@ func armToSummary(a *workload.ArmRow) *armSummary {
 func EncodeRun(run *workload.CircuitRun) (*Artifacts, error) {
 	row := run.Row()
 	sum := summary{
-		Version:           1,
+		Version:           2,
 		Name:              row.Name,
 		Nsv:               row.Nsv,
 		Faults:            row.Faults,
@@ -157,7 +161,7 @@ func DecodeRow(a *Artifacts) (*workload.Row, error) {
 	if err := json.Unmarshal(sj, &sum); err != nil {
 		return nil, fmt.Errorf("jobs: decode summary: %v", err)
 	}
-	if sum.Version != 1 {
+	if sum.Version != 2 {
 		return nil, fmt.Errorf("jobs: unsupported summary version %d", sum.Version)
 	}
 	bsrc, ok := a.Files[FileBench]
@@ -213,14 +217,16 @@ func DecodeRow(a *Artifacts) (*workload.Row, error) {
 			return nil, err
 		}
 		return &workload.ArmRow{
-			T0Detected:    s.T0Detected,
-			SeqDetected:   s.SeqDetected,
-			FinalDetected: s.FinalDetected,
-			T0Len:         s.T0Len,
-			SeqLen:        s.SeqLen,
-			Added:         s.Added,
-			Initial:       init,
-			Final:         final,
+			T0Detected:            s.T0Detected,
+			SeqDetected:           s.SeqDetected,
+			FinalDetected:         s.FinalDetected,
+			UniverseSeqDetected:   s.UniverseSeqDetected,
+			UniverseFinalDetected: s.UniverseFinalDetected,
+			T0Len:                 s.T0Len,
+			SeqLen:                s.SeqLen,
+			Added:                 s.Added,
+			Initial:               init,
+			Final:                 final,
 		}, nil
 	}
 	if row.Proposed, err = arm(sum.Proposed, FilePropInitial, FilePropFinal); err != nil {

@@ -100,8 +100,12 @@ func CircuitDigest(c *circuit.Circuit) string {
 // ConfigFingerprint hashes the result-affecting fields of a pipeline
 // config under the given effective seed. Fields that are proven not to
 // change any artifact byte — Workers, BatchWords, Order (pass packing
-// only), Check/CheckSample (observation only), Progress — are excluded,
-// so e.g. a serial run and an 8-worker run share one cache entry.
+// only), NoLedger/Speculate (simulation scheduling only; the ledger
+// differential suites pin the byte-identity), Check/CheckSample
+// (observation only), Progress — are excluded, so e.g. a serial
+// pre-ledger run and an 8-worker speculative run share one cache entry.
+// The "v2" prefix retired the version-1 summary.json bundles (they lack
+// the universe-coverage fields).
 func ConfigFingerprint(cfg workload.Config, seed int64) string {
 	// Normalize the documented zero-value defaults so that an explicit
 	// default and an omitted field fingerprint identically.
@@ -115,7 +119,7 @@ func ConfigFingerprint(cfg workload.Config, seed int64) string {
 		cfg.T0Compactor = "omit"
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "v1;seed=%d;t0max=%d;randlen=%d;t0comp=%s;", seed, cfg.T0MaxLen, cfg.RandomT0Len, cfg.T0Compactor)
+	fmt.Fprintf(&sb, "v2;seed=%d;t0max=%d;randlen=%d;t0comp=%s;", seed, cfg.T0MaxLen, cfg.RandomT0Len, cfg.T0Compactor)
 	fmt.Fprintf(&sb, "skiprand=%t;skipdyn=%t;skipbase=%t;skipdir=%t;uncollapsed=%t;scanffs=%d;",
 		cfg.SkipRandom, cfg.SkipDynamic, cfg.SkipBaselines, cfg.SkipDirected, cfg.Uncollapsed, cfg.ScanFFs)
 	co := cfg.Core

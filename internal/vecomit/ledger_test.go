@@ -1,0 +1,125 @@
+// External test package: see oracle_test.go for the import-cycle note.
+package vecomit_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/oracle"
+	"repro/internal/scan"
+	"repro/internal/vecomit"
+)
+
+func seqsEqual(a, b logic.Sequence) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u := range a {
+		if !a[u].Equal(b[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomTest(r *rand.Rand, nsv, npi, length int) scan.Test {
+	tst := scan.Test{SI: make(logic.Vector, nsv)}
+	for i := range tst.SI {
+		tst.SI[i] = logic.Value(r.Intn(2))
+	}
+	for u := 0; u < length; u++ {
+		v := make(logic.Vector, npi)
+		for i := range v {
+			v[i] = logic.Value(r.Intn(2))
+		}
+		tst.Seq = append(tst.Seq, v)
+	}
+	return tst
+}
+
+// TestLedgerEquivalence is the vecomit arm of the byte-identity
+// contract: the ledger engine — serial and speculative, at any worker
+// count, under full and partial scan — accepts exactly the removals the
+// pre-ledger engine accepts, so the compacted sequences are identical.
+// The ledger output is additionally re-verified against the reference
+// simulator, and the free-removal short-circuit must actually fire
+// somewhere in the sweep (otherwise the ledger would be measuring
+// nothing).
+func TestLedgerEquivalence(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "vl", Seed: 41, PIs: 4, POs: 3, FFs: 10, Gates: 110})
+	faults := fault.Collapse(c)
+
+	half := make([]int, c.NumFFs()/2)
+	for i := range half {
+		half[i] = 2 * i
+	}
+	partial, err := scan.NewChain(c.NumFFs(), half)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalFree := 0
+	for _, chain := range []*scan.Chain{nil, partial} {
+		nsv := c.NumFFs()
+		if chain != nil {
+			nsv = len(chain.FFs)
+		}
+		orc := oracle.NewChain(c, faults, chain)
+		for _, seed := range []int64{3, 19} {
+			r := rand.New(rand.NewSource(seed))
+			tst := randomTest(r, nsv, c.NumPIs(), 16)
+
+			sref := fsim.NewChain(c, faults, chain)
+			keep := sref.DetectTest(tst.SI, tst.Seq, nil)
+			ref, refSt := vecomit.CompactTest(sref, tst, keep, vecomit.Options{NoLedger: true})
+
+			for _, workers := range []int{1, 4} {
+				for _, spec := range []int{0, 3} {
+					name := fmt.Sprintf("chain=%v seed=%d workers=%d spec=%d", chain != nil, seed, workers, spec)
+					s := fsim.NewChain(c, faults, chain).SetWorkers(workers)
+					got, st := vecomit.CompactTest(s, tst, keep, vecomit.Options{Speculate: spec})
+					if !seqsEqual(got.Seq, ref.Seq) {
+						t.Fatalf("%s: ledger sequence differs from pre-ledger path (%d vs %d vectors)",
+							name, len(got.Seq), len(ref.Seq))
+					}
+					if st.Removed != refSt.Removed {
+						t.Fatalf("%s: Removed = %d, want %d", name, st.Removed, refSt.Removed)
+					}
+					if after := orc.DetectTest(got.SI, got.Seq, nil); !after.ContainsAll(keep) {
+						t.Fatalf("%s: oracle says the ledger path lost coverage", name)
+					}
+					totalFree += st.FreeRemovals
+				}
+			}
+		}
+	}
+	if totalFree == 0 {
+		t.Fatal("free-removal short-circuit never fired across the sweep")
+	}
+}
+
+// TestLedgerEquivalenceSequence repeats the check for the no-scan role
+// (conditioning T_0): PO-only detection, no scan-in state.
+func TestLedgerEquivalenceSequence(t *testing.T) {
+	c := gen.MustGenerate(gen.Params{Name: "vls", Seed: 42, PIs: 3, POs: 3, FFs: 6, Gates: 80})
+	faults := fault.Collapse(c)
+	r := rand.New(rand.NewSource(23))
+	tst := randomTest(r, 0, c.NumPIs(), 18)
+
+	sref := fsim.New(c, faults)
+	keep := sref.Detect(tst.Seq, fsim.Options{})
+	ref, _ := vecomit.CompactSequence(sref, tst.Seq, keep, vecomit.Options{NoLedger: true})
+
+	for _, spec := range []int{0, 4} {
+		s := fsim.New(c, faults).SetWorkers(2)
+		got, _ := vecomit.CompactSequence(s, tst.Seq, keep, vecomit.Options{Speculate: spec})
+		if !seqsEqual(got, ref) {
+			t.Fatalf("spec=%d: no-scan ledger sequence differs from pre-ledger path", spec)
+		}
+	}
+}

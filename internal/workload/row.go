@@ -3,6 +3,7 @@ package workload
 import (
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/scan"
 )
 
@@ -16,6 +17,15 @@ type ArmRow struct {
 	T0Len         int
 	SeqLen        int
 	Added         int
+
+	// UniverseSeqDetected and UniverseFinalDetected restate SeqDetected
+	// and FinalDetected over the full uncollapsed fault universe:
+	// detecting a collapsed representative detects its whole structural
+	// equivalence class (fault.Collapsed.Members), so the expansion is
+	// exact, not an estimate. When the run targeted the uncollapsed list
+	// directly the two pairs coincide.
+	UniverseSeqDetected   int
+	UniverseFinalDetected int
 
 	Initial *scan.Set
 	Final   *scan.Set
@@ -61,12 +71,14 @@ type Row struct {
 	Rand     *ArmRow
 }
 
-// armRow converts one core result into its table row.
-func armRow(r *core.Result) *ArmRow {
+// armRow converts one core result into its table row; cc expands the
+// collapsed detection counts to the full universe (nil when the run
+// targeted the uncollapsed list, making the expansion the identity).
+func armRow(r *core.Result, cc *fault.Collapsed) *ArmRow {
 	if r == nil {
 		return nil
 	}
-	return &ArmRow{
+	a := &ArmRow{
 		T0Detected:    r.T0Detected.Count(),
 		SeqDetected:   r.SeqDetected.Count(),
 		FinalDetected: r.FinalDetected.Count(),
@@ -76,6 +88,14 @@ func armRow(r *core.Result) *ArmRow {
 		Initial:       r.Initial,
 		Final:         r.Final,
 	}
+	if cc != nil {
+		a.UniverseSeqDetected = cc.ExpandCount(r.SeqDetected)
+		a.UniverseFinalDetected = cc.ExpandCount(r.FinalDetected)
+	} else {
+		a.UniverseSeqDetected = a.SeqDetected
+		a.UniverseFinalDetected = a.FinalDetected
+	}
+	return a
 }
 
 // Row condenses the run into its table-level view.
@@ -89,8 +109,8 @@ func (r *CircuitRun) Row() *Row {
 		Base4Init: r.Base4Init,
 		Base4Comp: r.Base4Comp,
 		BaseDyn:   r.BaseDyn,
-		Proposed:  armRow(r.Proposed),
-		Rand:      armRow(r.ProposedRand),
+		Proposed:  armRow(r.Proposed, r.Collapsed),
+		Rand:      armRow(r.ProposedRand, r.Collapsed),
 	}
 	if r.Collapsed != nil {
 		row.CollapsedUniverse = len(r.Collapsed.Universe)

@@ -144,6 +144,34 @@ func TableDelay(rows []*Row) *tabfmt.Table {
 	return t
 }
 
+// TableUniverse is an extension beyond the paper's tables: it restates
+// the detection counts of Table 1 over the full uncollapsed stuck-at
+// universe. Simulation targets the collapsed representatives, but
+// detecting a representative detects every member of its structural
+// equivalence class (fault.Collapsed.Members), so the universe-level
+// coverage is exact and directly comparable across tools that do not
+// collapse. For a run that already targeted the uncollapsed list the
+// two column groups coincide.
+func TableUniverse(rows []*Row) *tabfmt.Table {
+	t := tabfmt.New("Extension table: uncollapsed-universe fault coverage",
+		"circuit", "reps", "universe", "scan", "final", "rand final")
+	for _, r := range rows {
+		universe := r.CollapsedUniverse
+		if universe == 0 {
+			universe = r.Faults
+		}
+		cells := []interface{}{r.Name, r.Faults, universe,
+			r.Proposed.UniverseSeqDetected, r.Proposed.UniverseFinalDetected}
+		if r.Rand != nil {
+			cells = append(cells, r.Rand.UniverseFinalDetected)
+		} else {
+			cells = append(cells, "-")
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
 // TablePower is a second extension table: test power of the final test
 // sets (shift-in/out weighted transitions + capture switching activity,
 // package power). Compaction's other axis: the proposed sets trade many
